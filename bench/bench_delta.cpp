@@ -1,0 +1,53 @@
+/// \file bench_delta.cpp
+/// Experiment T6 / F6 — non-rigid movement: the adversary stops robots
+/// after delta; the algorithm must converge for EVERY delta > 0 (delta is
+/// unknown to the robots). Sweeps delta with an aggressive stop-at-delta
+/// adversary and reports cycles to completion.
+///
+/// Expected shape: success everywhere; cycles grow roughly like 1/delta
+/// for small delta (long radial or arc moves get chopped into delta-sized
+/// pieces, each costing one cycle).
+
+#include "bench/common.h"
+#include "core/form_pattern.h"
+
+using namespace apf;
+using namespace apf::bench;
+
+int main() {
+  const int kSeeds = 8;
+  core::FormPatternAlgorithm algo;
+
+  Table table("T6: delta sensitivity (ASYNC, aggressive stop-at-delta, n=8)",
+              "bench_delta.csv",
+              {"delta", "success", "cycles_mean", "cycles_p95",
+               "moves_per_robot"});
+
+  for (double delta : {0.005, 0.01, 0.05, 0.1, 0.25, 0.5}) {
+    int ok = 0;
+    std::vector<double> cycles;
+    for (int s = 0; s < kSeeds; ++s) {
+      config::Rng rng(700 + s);
+      const std::size_t n = 8;
+      const auto start = config::randomConfiguration(n, rng, 5.0, 0.1);
+      const auto pattern = io::starPattern(n);
+      RunSpec spec;
+      spec.seed = 19 * s + 7;
+      spec.delta = delta;
+      spec.earlyStopProb = 0.9;
+      spec.maxEvents = 3000000;
+      const auto res = runOnce(start, pattern, algo, spec);
+      ok += res.success;
+      if (res.success) {
+        cycles.push_back(static_cast<double>(res.metrics.cycles));
+      }
+    }
+    const Stats cs = statsOf(cycles);
+    table.row({io::fmt(delta, 3),
+               std::to_string(ok) + "/" + std::to_string(kSeeds),
+               io::fmt(cs.mean, 0), io::fmt(cs.p95, 0),
+               io::fmt(cs.mean / 8.0, 1)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// \file bench_election.cpp
+/// Experiment T2 / F2 (Lemmas 1-2): the randomized election terminates with
+/// probability 1. From fully symmetric starts (where any deterministic
+/// election is impossible), psi_RSB runs until a selected robot exists.
+/// Reports per-n, per-scheduler cycle counts (mean/p50/p95) and random-bit
+/// usage, plus the cycle-count CDF as a printed series (figure data).
+///
+/// Expected shape: success on every seed; common-case cycles grow mildly
+/// with n; bits consumed ~= number of election activations (1 bit each).
+
+#include "bench/common.h"
+#include "core/rsb.h"
+
+using namespace apf;
+using namespace apf::bench;
+
+int main() {
+  const int kSeeds = 60;
+  core::RsbOnlyAlgorithm rsb;
+
+  Table table("T2: psi_RSB election from symmetric starts",
+              "bench_election.csv",
+              {"n", "sched", "success", "cycles_mean", "cycles_p50",
+               "cycles_p95", "bits_mean", "bits_per_cycle"});
+
+  std::vector<std::pair<std::string, sched::SchedulerKind>> scheds = {
+      {"SSYNC", sched::SchedulerKind::SSync},
+      {"ASYNC", sched::SchedulerKind::Async}};
+
+  std::vector<std::vector<double>> cdfData;  // ASYNC cycles per n for F2
+  std::vector<std::size_t> cdfNs;
+
+  for (std::size_t n : {8, 12, 16, 24, 32}) {
+    for (const auto& [schedName, kind] : scheds) {
+      int ok = 0;
+      std::vector<double> cycles, bits;
+      for (int s = 0; s < kSeeds; ++s) {
+        const auto start = symmetricStart(n, 1000 + s);
+        const auto pattern = io::starPattern(n);
+        RunSpec spec;
+        spec.sched = kind;
+        spec.seed = 7 * s + 1;
+        const auto res = runOnce(start, pattern, rsb, spec);
+        ok += res.terminated;
+        if (res.terminated) {
+          cycles.push_back(static_cast<double>(res.metrics.cycles));
+          bits.push_back(static_cast<double>(res.metrics.randomBits));
+        }
+      }
+      const Stats cs = statsOf(cycles);
+      const Stats bs = statsOf(bits);
+      table.row({std::to_string(n), schedName,
+                 std::to_string(ok) + "/" + std::to_string(kSeeds),
+                 io::fmt(cs.mean, 1), io::fmt(cs.p50, 0), io::fmt(cs.p95, 0),
+                 io::fmt(bs.mean, 1),
+                 io::fmt(cs.mean > 0 ? bs.mean / cs.mean : 0.0, 4)});
+      if (kind == sched::SchedulerKind::Async) {
+        cdfData.push_back(cycles);
+        cdfNs.push_back(n);
+      }
+    }
+  }
+  table.print();
+
+  Table cdf("F2: election cycles CDF (ASYNC), deciles",
+            "bench_election_cdf.csv",
+            {"n", "d10", "d20", "d30", "d40", "d50", "d60", "d70", "d80",
+             "d90", "d100"});
+  for (std::size_t k = 0; k < cdfData.size(); ++k) {
+    auto xs = cdfData[k];
+    std::sort(xs.begin(), xs.end());
+    std::vector<std::string> row{std::to_string(cdfNs[k])};
+    for (int d = 1; d <= 10; ++d) {
+      const std::size_t idx =
+          std::min(xs.size() - 1, (d * xs.size()) / 10);
+      row.push_back(io::fmt(xs.empty() ? 0.0 : xs[idx == 0 ? 0 : idx - 1], 0));
+    }
+    cdf.row(row);
+  }
+  cdf.print();
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// \file bench_randbits.cpp
+/// Experiment T5 — random-bit complexity: the paper's algorithm draws at
+/// most ONE bit per robot per cycle (and only during the election), while
+/// the Yamauchi-Yamashita-style baseline draws continuous uniforms (53 bits
+/// each at double resolution; countably infinite in the model). Symmetric
+/// starts force both algorithms to actually randomize; both run with common
+/// chirality so the baseline is on its home turf.
+///
+/// Expected shape: ours consumes a handful of bits total (a few per
+/// election participant); the baseline consumes 53x its draw count;
+/// bits/cycle <= 1 for ours always.
+
+#include "baseline/yy.h"
+#include "bench/common.h"
+#include "core/form_pattern.h"
+
+using namespace apf;
+using namespace apf::bench;
+
+int main() {
+  const int kSeeds = 20;
+  core::FormPatternAlgorithm ours;
+  baseline::YYAlgorithm yy;
+
+  Table table("T5: random-bit complexity on symmetric starts (SSYNC)",
+              "bench_randbits.csv",
+              {"algorithm", "n", "success", "bits_mean", "bits_p95",
+               "bits_per_cycle_max"});
+
+  struct Algo {
+    const char* name;
+    const sim::Algorithm* algo;
+  };
+  const Algo algos[] = {{"bramas-tixeuil", &ours}, {"yy-baseline", &yy}};
+
+  for (const auto& [name, algo] : algos) {
+    for (std::size_t n : {8, 12, 16}) {
+      int ok = 0;
+      std::vector<double> bits, perCycle;
+      for (int s = 0; s < kSeeds; ++s) {
+        const auto start = symmetricStart(n, 300 + s);
+        const auto pattern = io::randomPatternByName(n, 70 + s);
+        RunSpec spec;
+        spec.sched = sched::SchedulerKind::SSync;
+        spec.seed = 11 * s + 5;
+        spec.commonChirality = true;
+        const auto res = runOnce(start, pattern, *algo, spec);
+        ok += res.success;
+        bits.push_back(static_cast<double>(res.metrics.randomBits));
+        if (res.metrics.cycles > 0) {
+          perCycle.push_back(static_cast<double>(res.metrics.randomBits) /
+                             static_cast<double>(res.metrics.cycles));
+        }
+      }
+      const Stats bs = statsOf(bits);
+      table.row({name, std::to_string(n),
+                 std::to_string(ok) + "/" + std::to_string(kSeeds),
+                 io::fmt(bs.mean, 1), io::fmt(bs.p95, 0),
+                 io::fmt(statsOf(perCycle).max, 3)});
+    }
+  }
+  table.print();
+  return 0;
+}

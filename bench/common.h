@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file common.h
+/// Shared harness for the experiment benchmarks (T2-T9 in DESIGN.md): run
+/// matrices of simulations, aggregate the metrics the paper's claims are
+/// stated in, and print aligned tables (also dumped as CSV next to the
+/// binary's working directory).
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "config/configuration.h"
+#include "config/generator.h"
+#include "io/csv.h"
+#include "io/patterns.h"
+#include "sim/engine.h"
+
+namespace apf::bench {
+
+struct RunSpec {
+  sched::SchedulerKind sched = sched::SchedulerKind::Async;
+  std::uint64_t seed = 1;
+  std::uint64_t maxEvents = 600000;
+  double delta = 0.05;
+  double earlyStopProb = 0.5;
+  double activationProb = 0.5;
+  bool multiplicity = false;
+  bool commonChirality = false;
+};
+
+inline sim::RunResult runOnce(const config::Configuration& start,
+                              const config::Configuration& pattern,
+                              const sim::Algorithm& algo,
+                              const RunSpec& spec) {
+  sim::EngineOptions opts;
+  opts.seed = spec.seed;
+  opts.maxEvents = spec.maxEvents;
+  opts.multiplicityDetection = spec.multiplicity;
+  opts.commonChirality = spec.commonChirality;
+  opts.sched.kind = spec.sched;
+  opts.sched.delta = spec.delta;
+  opts.sched.earlyStopProb = spec.earlyStopProb;
+  opts.sched.activationProb = spec.activationProb;
+  sim::Engine eng(start, pattern, algo, opts);
+  return eng.run();
+}
+
+struct Stats {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+inline Stats statsOf(std::vector<double> xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.mean = std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+  s.p50 = xs[xs.size() / 2];
+  s.p95 = xs[static_cast<std::size_t>(0.95 * (xs.size() - 1))];
+  s.min = xs.front();
+  s.max = xs.back();
+  return s;
+}
+
+/// Aligned stdout table + CSV file.
+class Table {
+ public:
+  Table(std::string title, std::string csvPath,
+        std::vector<std::string> header)
+      : title_(std::move(title)),
+        header_(std::move(header)),
+        csv_(csvPath, header_) {}
+
+  void row(std::vector<std::string> cells) {
+    csv_.row(cells);
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::printf("\n== %s ==\n", title_.c_str());
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], cells[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+    auto printRow = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths[i]), cells[i].c_str());
+      }
+      std::printf("\n");
+    };
+    printRow(header_);
+    for (const auto& r : rows_) printRow(r);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  io::CsvWriter csv_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Symmetric start with n robots (n even >= 4): rho = n / rings-gons.
+inline config::Configuration symmetricStart(std::size_t n,
+                                            std::uint64_t seed) {
+  config::Rng rng(seed);
+  // Factor n as rho * rings with rho maximal <= n/2 (at least 2 rings).
+  for (int rings = 2; rings <= static_cast<int>(n); ++rings) {
+    if (n % rings == 0 && n / rings >= 2) {
+      return config::symmetricConfiguration(static_cast<int>(n / rings),
+                                            rings, rng);
+    }
+  }
+  return config::randomConfiguration(n, rng);
+}
+
+}  // namespace apf::bench

@@ -1,0 +1,63 @@
+/// \file async_adversary.cpp
+/// Formation under a maximally hostile ASYNC adversary: tiny delta,
+/// aggressive stop-at-delta, long pauses (robots Compute on badly stale
+/// snapshots). Demonstrates the paper's model claims: non-rigid movement
+/// and full asynchrony with pauses do not break correctness — only cost.
+///
+/// The same run is repeated under FSYNC for contrast; the summary compares
+/// cycles, events, and distance.
+
+#include <cstdio>
+
+#include "config/generator.h"
+#include "core/form_pattern.h"
+#include "io/patterns.h"
+#include "sim/engine.h"
+
+namespace {
+
+apf::sim::RunResult runWith(apf::sched::SchedulerKind kind, double delta,
+                            double earlyStop,
+                            const apf::config::Configuration& start,
+                            const apf::config::Configuration& pattern) {
+  apf::core::FormPatternAlgorithm algo;
+  apf::sim::EngineOptions opts;
+  opts.seed = 11;
+  opts.maxEvents = 3000000;
+  opts.sched.kind = kind;
+  opts.sched.delta = delta;
+  opts.sched.earlyStopProb = earlyStop;
+  apf::sim::Engine engine(start, pattern, algo, opts);
+  return engine.run();
+}
+
+void report(const char* label, const apf::sim::RunResult& r) {
+  std::printf("%-24s success=%s cycles=%-7llu events=%-8llu distance=%.2f\n",
+              label, r.success ? "yes" : "no ",
+              static_cast<unsigned long long>(r.metrics.cycles),
+              static_cast<unsigned long long>(r.metrics.events),
+              r.metrics.distance);
+}
+
+}  // namespace
+
+int main() {
+  using namespace apf;
+
+  config::Rng rng(99);
+  const auto start = config::randomConfiguration(9, rng, 5.0, 0.1);
+  const auto pattern = io::spiralPattern(9);
+
+  std::printf("forming a 9-point spiral from a random start:\n\n");
+  report("FSYNC (lock-step)",
+         runWith(sched::SchedulerKind::FSync, 0.05, 0.0, start, pattern));
+  report("ASYNC (gentle)",
+         runWith(sched::SchedulerKind::Async, 0.05, 0.1, start, pattern));
+  report("ASYNC (hostile)",
+         runWith(sched::SchedulerKind::Async, 0.01, 0.95, start, pattern));
+  std::printf(
+      "\nThe hostile adversary chops every move into delta-sized pieces and\n"
+      "interleaves stale snapshots — the algorithm still converges, paying\n"
+      "only in cycles, exactly as Theorem 2 promises.\n");
+  return 0;
+}

@@ -1,0 +1,181 @@
+/// \file diagram_svg.cpp
+/// Regenerates the paper's figure-style diagrams as SVG from LIVE
+/// detections (experiment F1): every annotation below — rays, centers,
+/// virtual axes, the shifted robot — is computed by the library's
+/// detectors, not hard-coded, so the diagrams double as a visual check of
+/// Definitions 1-3.
+///
+///   fig1b_regular.svg    a 5-regular set (equiangular rays)
+///   fig1c_biangled.svg   a bi-angled 4-point set with virtual axes
+///   fig1d_shifted.svg    a bi-angled shifted set (shifted robot marked)
+///   fig1a_selected.svg   a configuration with a selected robot + pattern
+///   fig2b_subset.svg     a configuration strictly containing a 4-regular
+///                        set (the 8-point complement has rho = 8)
+///   trace_formation.svg  trajectories of a full formation run
+///
+/// Outputs are written to the current working directory.
+
+#include <cstdio>
+#include <vector>
+
+#include "config/generator.h"
+#include "config/regular.h"
+#include "config/shifted.h"
+#include "core/analysis.h"
+#include "core/form_pattern.h"
+#include "geom/angle.h"
+#include "io/patterns.h"
+#include "io/svg.h"
+#include "sim/engine.h"
+
+using namespace apf;
+using config::Configuration;
+using geom::Vec2;
+
+namespace {
+
+std::vector<double> gridDirs(const geom::AngularGrid& g) {
+  std::vector<double> dirs;
+  for (int k = 0; k < g.numRays; ++k) dirs.push_back(g.rayDir(k));
+  return dirs;
+}
+
+void figRegular() {
+  const double radii[] = {1.0, 1.7, 1.3, 0.8, 1.5};
+  const Configuration p = config::equiangularSet(radii, {}, 0.5);
+  const auto info = config::checkRegularFreeCenter(p);
+  io::SvgScene scene;
+  if (info) {
+    scene.addRays(info->grid.center, gridDirs(info->grid), 2.0);
+    scene.addLayer({Configuration({info->grid.center}), "#aaa", 0.03, true});
+  }
+  scene.addLayer({p, "#1f77b4", 0.05, false});
+  scene.write("fig1b_regular.svg");
+  std::printf("fig1b_regular.svg: 5-regular set detected = %s\n",
+              info ? "yes" : "NO");
+}
+
+void figBiangled() {
+  const double radii[] = {1.2, 1.2, 1.2, 1.2};
+  const Configuration p = config::biangularSet(4, 0.8, radii, {}, 0.3);
+  std::vector<std::size_t> all{0, 1, 2, 3};
+  const auto info = config::checkRegularKnownCenter(p, all, {});
+  io::SvgScene scene;
+  if (info) {
+    scene.addRays({}, gridDirs(info->grid), 1.8);
+    // Virtual axes drawn as full lines (both directions).
+    std::vector<double> axes;
+    for (double a : config::virtualAxes(info->grid)) {
+      axes.push_back(a);
+      axes.push_back(a + geom::kPi);
+    }
+    scene.addRays({}, axes, 1.6, "#f2b2b2");
+  }
+  scene.addLayer({p, "#1f77b4", 0.05, false});
+  scene.write("fig1c_biangled.svg");
+  std::printf("fig1c_biangled.svg: bi-angled set detected = %s\n",
+              info && info->biangular ? "yes" : "NO");
+}
+
+void figShifted() {
+  const double radii[] = {1.4, 1.4, 1.4, 1.4, 1.4, 1.4, 1.4, 0.9};
+  Configuration p = config::biangularSet(8, 0.5, radii, {}, 0.2);
+  // Shift the innermost robot by eps * alphamin TOWARD its nearest
+  // neighboring ray (Definition 3(b): the shift decreases its min angle).
+  p[7] = p[7].rotated(-0.2 * 0.5);
+  const auto info = config::shiftedRegularSetOf(p);
+  io::SvgScene scene;
+  if (info) {
+    scene.addRays(info->grid.center, gridDirs(info->grid), 1.8);
+    // Associated position r' (hollow) and the shifted robot (red).
+    scene.addLayer(
+        {Configuration({info->associatedPos}), "#2ca02c", 0.05, true});
+    scene.addLayer(
+        {Configuration({p[info->shiftedRobot]}), "#d62728", 0.055, false});
+    scene.addCircle(info->grid.center,
+                    geom::dist(p[info->shiftedRobot], info->grid.center));
+  }
+  scene.addLayer({p, "#1f77b4", 0.04, false});
+  scene.write("fig1d_shifted.svg");
+  std::printf("fig1d_shifted.svg: shifted set detected = %s (eps = %.3f)\n",
+              info ? "yes" : "NO", info ? info->epsilon : 0.0);
+}
+
+void figSelected() {
+  Configuration p = config::regularPolygon(7, 1.0, {}, 0.4);
+  p.push_back({0.04, 0.02});
+  const Configuration f = io::starPattern(8);
+  sim::Snapshot snap;
+  snap.robots = p;
+  snap.pattern = f;
+  snap.selfIndex = 0;
+  core::Analysis a(snap);
+  io::SvgScene scene;
+  scene.addCircle({}, 1.0);
+  scene.addCircle({}, a.lF() / 2.0, "#f2b2b2");
+  scene.addLayer({a.F(), "#999", 0.03, true});  // the pattern, hollow
+  scene.addLayer({a.P(), "#1f77b4", 0.04, false});
+  if (const auto sel = a.selectedRobot()) {
+    scene.addLayer({Configuration({a.P()[*sel]}), "#d62728", 0.05, false});
+  }
+  scene.write("fig1a_selected.svg");
+  std::printf("fig1a_selected.svg: selected robot = %s\n",
+              a.selectedRobot() ? "yes" : "NO");
+}
+
+void figSubsetRegular() {
+  Configuration p = config::regularPolygon(8, 2.0, {}, 0.0);
+  const Configuration inner = config::regularPolygon(4, 1.0, {}, 0.3);
+  for (const Vec2& v : inner.points()) p.push_back(v);
+  const auto info = config::regularSetOf(p);
+  io::SvgScene scene;
+  scene.addCircle({}, 2.0);
+  if (info) {
+    scene.addRays(info->grid.center, gridDirs(info->grid), 2.3);
+    Configuration reg;
+    for (std::size_t i : info->indices) reg.push_back(p[i]);
+    scene.addLayer({reg, "#d62728", 0.06, true});
+  }
+  scene.addLayer({p, "#1f77b4", 0.05, false});
+  scene.write("fig2b_subset.svg");
+  std::printf("fig2b_subset.svg: reg(P) size = %zu\n",
+              info ? info->indices.size() : 0);
+}
+
+void figTrace() {
+  config::Rng rng(7);
+  const auto start = config::randomConfiguration(8, rng, 4.0, 0.1);
+  const auto pattern = io::starPattern(8);
+  core::FormPatternAlgorithm algo;
+  sim::EngineOptions opts;
+  opts.seed = 3;
+  opts.sched.kind = sched::SchedulerKind::SSync;
+  sim::Engine eng(start, pattern, algo, opts);
+  std::vector<std::vector<Vec2>> trails(start.size());
+  for (std::size_t i = 0; i < start.size(); ++i) {
+    trails[i].push_back(start[i]);
+  }
+  eng.setObserver([&](const sim::Engine& e, std::size_t robot) {
+    trails[robot].push_back(e.positions()[robot]);
+  });
+  const auto res = eng.run();
+  io::SvgScene scene;
+  for (auto& t : trails) scene.addTrail(std::move(t));
+  scene.addLayer({start, "#999", 0.05, true});
+  scene.addLayer({eng.positions(), "#1f77b4", 0.06, false});
+  scene.write("trace_formation.svg");
+  std::printf("trace_formation.svg: run success = %s\n",
+              res.success ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  figRegular();
+  figBiangled();
+  figShifted();
+  figSelected();
+  figSubsetRegular();
+  figTrace();
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "baseline/det_election.h"
+
+#include "core/analysis.h"
+#include "core/moves.h"
+#include "core/phases.h"
+
+namespace apf::baseline {
+
+using sim::Action;
+
+Action DeterministicElection::compute(const sim::Snapshot& snap,
+                                      sched::RandomSource& /*rng*/) const {
+  core::Analysis a(snap);
+  if (!a.ok()) return Action::stay(core::kBaseline);
+  if (a.selectedRobot()) return Action::stay(core::kBaseline);
+
+  // Deterministic rule: only a UNIQUE max-view robot may act.
+  const auto maxV = a.maxViewP();
+  if (maxV.size() != 1) return Action::stay(core::kBaseline);
+  const std::size_t r = maxV.front();
+  if (a.self() != r) return Action::stay(core::kBaseline);
+
+  double minOther = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < a.P().size(); ++j) {
+    if (j != r) minOther = std::min(minOther, a.P()[j].norm());
+  }
+  const double target = 0.45 * std::min(a.lF(), minOther);
+  const double cur = a.P()[r].norm();
+  if (cur <= target + 1e-9) return Action::stay(core::kBaseline);
+  Action act{core::radialPath(geom::Vec2{}, a.P()[r], target),
+             core::kBaseline};
+  act.path = act.path.transformed(a.denormalize());
+  return act;
+}
+
+}  // namespace apf::baseline

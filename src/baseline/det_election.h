@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file det_election.h
+/// Deterministic leader-election baseline: the unique max-view robot (when
+/// one exists) descends until it is selected. On configurations with
+/// rho(P) > 1 or an axis of symmetry there IS no unique max-view robot and
+/// the algorithm provably stalls — the impossibility psi_RSB's randomness
+/// circumvents. Used as the comparator in the election experiments (T2).
+
+#include "sim/algorithm.h"
+
+namespace apf::baseline {
+
+class DeterministicElection : public sim::Algorithm {
+ public:
+  sim::Action compute(const sim::Snapshot& snap,
+                      sched::RandomSource& rng) const override;
+  std::string name() const override { return "det-election"; }
+};
+
+}  // namespace apf::baseline

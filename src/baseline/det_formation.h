@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file det_formation.h
+/// Deterministic pattern formation baseline: the paper's own psi_DPF run
+/// behind a DETERMINISTIC election (unique max-view robot descends until
+/// selected). This is exactly the composition a deterministic algorithm is
+/// limited to, and it realizes the impossibility boundary the related work
+/// describes: on initial configurations with rho(P) > 1 or an axis of
+/// symmetry there is no unique max-view robot, the election stalls, and no
+/// pattern outside the symmetricity-divisibility class can ever form. The
+/// paper's single random bit is precisely what removes this wall.
+///
+/// Used by experiment T11 (determinism ablation) and the baseline tests.
+
+#include "sim/algorithm.h"
+
+namespace apf::baseline {
+
+class DeterministicFormation : public sim::Algorithm {
+ public:
+  sim::Action compute(const sim::Snapshot& snap,
+                      sched::RandomSource& rng) const override;
+  std::string name() const override { return "det-formation"; }
+};
+
+}  // namespace apf::baseline

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file yy.h
+/// Baseline in the style of Yamauchi-Yamashita [13]: randomized pattern
+/// formation that (a) assumes a COMMON CHIRALITY and (b) draws points
+/// uniformly at random from continuous intervals (53 bits per draw at
+/// double resolution, "infinitely many" in the model).
+///
+/// This is a mechanism-level re-implementation, not a line-by-line port of
+/// [13] (which has no public code): a randomized leader election by
+/// continuous inward jumps, followed by a chirality-dependent rank
+/// assignment (sort by (radius, ccw angle from the leader) — well-defined
+/// only when every robot agrees which way "counterclockwise" is) and
+/// straight-line moves to the assigned pattern points. It exercises exactly
+/// the two assumptions the paper removes, which is what the ablation
+/// experiments (T4, T5) measure.
+
+#include "sim/algorithm.h"
+
+namespace apf::baseline {
+
+class YYAlgorithm : public sim::Algorithm {
+ public:
+  sim::Action compute(const sim::Snapshot& snap,
+                      sched::RandomSource& rng) const override;
+  std::string name() const override { return "yy-baseline"; }
+};
+
+}  // namespace apf::baseline

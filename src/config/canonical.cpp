@@ -1,0 +1,86 @@
+#include "config/canonical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "geom/angle.h"
+#include "geom/sec.h"
+
+namespace apf::config {
+namespace {
+
+constexpr double kQuantum = 1e-6;
+
+std::int64_t q(double x) { return std::llround(x / kQuantum); }
+
+/// Quantized (radius, angle) multiset for one rotation/reflection choice.
+std::vector<std::int64_t> keyFor(const std::vector<geom::Vec2>& pts,
+                                 double rot, bool mirror) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> entries;
+  entries.reserve(pts.size());
+  for (const geom::Vec2& p : pts) {
+    const double r = p.norm();
+    double a = 0.0;
+    if (r > 1e-12) {
+      a = geom::norm2pi((mirror ? -p.arg() : p.arg()) - rot);
+      if (a > geom::kTwoPi - 1e-9) a = 0.0;
+    }
+    entries.push_back({q(r), q(a)});
+  }
+  std::sort(entries.begin(), entries.end());
+  std::vector<std::int64_t> key;
+  key.reserve(entries.size() * 2);
+  for (const auto& [r, a] : entries) {
+    key.push_back(r);
+    key.push_back(a);
+  }
+  return key;
+}
+
+}  // namespace
+
+CanonicalSignature canonicalSignature(const Configuration& p,
+                                      const Tol& tol) {
+  CanonicalSignature out;
+  if (p.empty()) return out;
+  const geom::Circle sec = p.sec();
+  if (sec.radius <= tol.dist) {
+    // All points coincide: the signature is just the multiplicity count.
+    out.key = {static_cast<std::int64_t>(p.size())};
+    return out;
+  }
+  std::vector<geom::Vec2> norm;
+  norm.reserve(p.size());
+  for (const geom::Vec2& v : p.points()) {
+    norm.push_back((v - sec.center) / sec.radius);
+  }
+  // Candidate anchors: every point on the SEC boundary, both orientations.
+  std::vector<std::int64_t> best;
+  for (const geom::Vec2& v : norm) {
+    if (std::fabs(v.norm() - 1.0) > 1e-7) continue;
+    for (bool mirror : {false, true}) {
+      const double rot = mirror ? -v.arg() : v.arg();
+      auto key = keyFor(norm, rot, mirror);
+      if (best.empty() || key > best) best = std::move(key);
+    }
+  }
+  out.key = std::move(best);
+  return out;
+}
+
+std::string CanonicalSignature::digest() const {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::int64_t v : key) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= static_cast<std::uint64_t>(v >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace apf::config

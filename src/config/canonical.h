@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file canonical.h
+/// Similarity-invariant signatures of configurations: two configurations
+/// get the same signature iff they are (quantized-)similar — equal up to
+/// translation, rotation, uniform scale, and reflection. Useful for
+/// deduplicating configurations across a campaign, memoizing analyses, and
+/// fast similar-or-not prechecks.
+///
+/// Construction: normalize by the SEC (center -> origin, radius -> 1),
+/// then take the lexicographically greatest quantized coordinate sequence
+/// over all candidate rotations (each boundary point to angle 0) and both
+/// reflections — a canonical form in the orbit of the similarity group.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/configuration.h"
+
+namespace apf::config {
+
+/// The canonical signature: quantized (radius, angle) pairs in canonical
+/// rotation/reflection, sorted. Equality <=> similarity (at quantization
+/// resolution).
+struct CanonicalSignature {
+  std::vector<std::int64_t> key;
+  bool operator==(const CanonicalSignature&) const = default;
+  bool operator<(const CanonicalSignature& o) const { return key < o.key; }
+
+  /// Short hex digest (FNV-1a over the key) for logging.
+  std::string digest() const;
+};
+
+CanonicalSignature canonicalSignature(const Configuration& p,
+                                      const Tol& tol = geom::kDefaultTol);
+
+}  // namespace apf::config

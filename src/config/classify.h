@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file classify.h
+/// One-call structural classification of a configuration: everything the
+/// paper's algorithms can "see" — symmetricity, axes, regular / shifted
+/// sets, SEC holders — gathered into a report. Useful as a public API
+/// entry point, for the CLI's --analyze mode, and for debugging runs.
+
+#include <optional>
+#include <string>
+
+#include "config/configuration.h"
+#include "config/regular.h"
+#include "config/shifted.h"
+
+namespace apf::config {
+
+struct ClassifyReport {
+  std::size_t n = 0;
+  bool hasMultiplicity = false;
+  geom::Circle sec;
+  /// Rotational symmetricity around the SEC center.
+  int symmetricity = 1;
+  /// Directions (mod pi) of symmetry axes through the SEC center.
+  std::vector<double> axes;
+  /// Indices of robots that hold C(P).
+  std::vector<std::size_t> secHolders;
+  /// reg(P) per Definition 2 (empty when none).
+  std::optional<RegularSetInfo> regular;
+  /// The shifted regular set per Definition 3 (empty when none).
+  std::optional<ShiftedSetInfo> shifted;
+  /// Indices of max-view robots (around the regular-aware center).
+  std::vector<std::size_t> maxView;
+
+  /// Human-readable multi-line summary.
+  std::string describe() const;
+};
+
+/// Runs the full structural analysis. Cost is dominated by the shifted-set
+/// detection; pass analyzeShifted = false to skip it.
+ClassifyReport classify(const Configuration& p, bool analyzeShifted = true,
+                        const Tol& tol = geom::kDefaultTol);
+
+}  // namespace apf::config

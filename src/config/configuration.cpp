@@ -1,0 +1,82 @@
+#include "config/configuration.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace apf::config {
+
+std::vector<MultiPoint> Configuration::grouped(const Tol& tol) const {
+  std::vector<MultiPoint> out;
+  for (const Vec2& p : pts_) {
+    auto it = std::find_if(out.begin(), out.end(), [&](const MultiPoint& m) {
+      return geom::nearlyEqual(m.pos, p, tol);
+    });
+    if (it == out.end()) {
+      out.push_back({p, 1});
+    } else {
+      ++it->count;
+    }
+  }
+  return out;
+}
+
+bool Configuration::hasMultiplicity(const Tol& tol) const {
+  return grouped(tol).size() != pts_.size();
+}
+
+Configuration Configuration::without(std::size_t i) const {
+  std::vector<Vec2> rest;
+  rest.reserve(pts_.size() - 1);
+  for (std::size_t j = 0; j < pts_.size(); ++j) {
+    if (j != i) rest.push_back(pts_[j]);
+  }
+  return Configuration(std::move(rest));
+}
+
+Configuration Configuration::transformed(const Similarity& t) const {
+  std::vector<Vec2> out;
+  out.reserve(pts_.size());
+  for (const Vec2& p : pts_) out.push_back(t.apply(p));
+  return Configuration(std::move(out));
+}
+
+Similarity Configuration::normalizingTransform() const {
+  const Circle c = sec();
+  const double s = (c.radius > 0.0) ? 1.0 / c.radius : 1.0;
+  // p -> (p - center) * s
+  return Similarity(0.0, s, false, Vec2{-c.center.x * s, -c.center.y * s});
+}
+
+double Configuration::distanceTo(Vec2 p) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Vec2& q : pts_) best = std::min(best, geom::dist(p, q));
+  return best;
+}
+
+std::size_t Configuration::closestIndex(Vec2 p) const {
+  std::size_t best = pts_.size();
+  double bestD = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    const double d = geom::dist(p, pts_[i]);
+    if (d < bestD) {
+      bestD = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double secondClosestDistance(const Configuration& p, Vec2 center,
+                             const Tol& tol) {
+  std::vector<double> ds;
+  ds.reserve(p.size());
+  for (const Vec2& q : p.points()) ds.push_back(geom::dist(q, center));
+  std::sort(ds.begin(), ds.end());
+  if (ds.empty()) return 0.0;
+  for (double d : ds) {
+    if (!geom::distEq(d, ds.front(), tol)) return d;
+  }
+  return ds.front();
+}
+
+}  // namespace apf::config

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file configuration.h
+/// A configuration P: the multiset of robot positions at some instant,
+/// expressed in some coordinate frame (global or a robot's local frame).
+
+#include <span>
+#include <vector>
+
+#include "geom/circle.h"
+#include "geom/sec.h"
+#include "geom/transform.h"
+#include "geom/vec2.h"
+
+namespace apf::config {
+
+using geom::Circle;
+using geom::Similarity;
+using geom::Tol;
+using geom::Vec2;
+
+/// A point together with its multiplicity (>= 1).
+struct MultiPoint {
+  Vec2 pos;
+  int count = 1;
+};
+
+/// A configuration of robot positions. Positions are stored in a stable
+/// order (index = robot identity inside the simulator; algorithms must not
+/// rely on indices, they are anonymous from the algorithm's viewpoint).
+/// Multiplicity points are represented by repeated positions.
+class Configuration {
+ public:
+  Configuration() = default;
+  explicit Configuration(std::vector<Vec2> pts) : pts_(std::move(pts)) {}
+
+  std::size_t size() const { return pts_.size(); }
+  bool empty() const { return pts_.empty(); }
+  const std::vector<Vec2>& points() const { return pts_; }
+  std::span<const Vec2> span() const { return pts_; }
+  const Vec2& operator[](std::size_t i) const { return pts_[i]; }
+  Vec2& operator[](std::size_t i) { return pts_[i]; }
+  void push_back(Vec2 p) { pts_.push_back(p); }
+
+  /// Smallest enclosing circle C(P).
+  Circle sec() const { return geom::smallestEnclosingCircle(pts_); }
+
+  /// Distinct positions with multiplicities (tolerant grouping). Order is
+  /// first-occurrence order.
+  std::vector<MultiPoint> grouped(const Tol& tol = geom::kDefaultTol) const;
+
+  /// True when some position appears more than once (tolerant).
+  bool hasMultiplicity(const Tol& tol = geom::kDefaultTol) const;
+
+  /// The configuration with point index i removed.
+  Configuration without(std::size_t i) const;
+
+  /// The configuration mapped through a similarity transform.
+  Configuration transformed(const Similarity& t) const;
+
+  /// Similarity transform that maps this configuration's SEC to the unit
+  /// circle at the origin (translation + scaling only; no rotation, so the
+  /// result depends on the source frame's orientation as the model demands).
+  Similarity normalizingTransform() const;
+
+  /// Distance from p to the closest point of the configuration.
+  double distanceTo(Vec2 p) const;
+
+  /// Index of the point closest to p (first of ties). size() when empty.
+  std::size_t closestIndex(Vec2 p) const;
+
+ private:
+  std::vector<Vec2> pts_;
+};
+
+/// lP: the distance to `center` of the second-closest distinct distance ring.
+/// Matches the paper's l_P (used via l_F on the pattern): with distances
+/// d1 <= d2 <= ... to the center, returns the second smallest *distinct*
+/// value (or d1 when all are equal / only one point).
+double secondClosestDistance(const Configuration& p, Vec2 center,
+                             const Tol& tol = geom::kDefaultTol);
+
+}  // namespace apf::config

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file generator.h
+/// Configuration generators for tests, examples, and benchmarks: random
+/// general-position configurations, regular and bi-angled sets, and the
+/// symmetric inputs the paper's algorithm must break.
+
+#include <cstdint>
+#include <random>
+
+#include "config/configuration.h"
+
+namespace apf::config {
+
+/// Deterministic RNG type used by all generators.
+using Rng = std::mt19937_64;
+
+/// n points uniform in the disc of given radius, rejecting points closer
+/// than minSeparation to each other (general position, no multiplicity).
+Configuration randomConfiguration(std::size_t n, Rng& rng, double radius = 1.0,
+                                  double minSeparation = 1e-3);
+
+/// Regular m-gon of the given radius centered at `center`, first vertex at
+/// direction `phase`.
+Configuration regularPolygon(std::size_t m, double radius = 1.0,
+                             Vec2 center = {}, double phase = 0.0);
+
+/// Equiangular set: m robots on equiangular rays with the given radii
+/// (radii.size() == m). This is an m-regular set per Definition 1.
+Configuration equiangularSet(std::span<const double> radii, Vec2 center = {},
+                             double phase = 0.0);
+
+/// Bi-angled (m/2-regular) set: m robots (m even) on rays with alternating
+/// gaps alpha and beta = 4*pi/m - alpha.
+Configuration biangularSet(std::size_t m, double alpha,
+                           std::span<const double> radii, Vec2 center = {},
+                           double phase = 0.0);
+
+/// A configuration with rotational symmetricity exactly `rho`: `rings`
+/// concentric rho-gons with random radii/phases (distinct per ring).
+Configuration symmetricConfiguration(int rho, int rings, Rng& rng,
+                                     double radius = 1.0);
+
+/// A configuration with rho(P) = 1 but an axis of symmetry: `pairs` mirror
+/// pairs plus `onAxis` points on the axis, at random radii. This is the
+/// other half of Property 1's hypothesis — deterministic election is
+/// impossible here too (the mirror twins are indistinguishable).
+Configuration axialConfiguration(int pairs, int onAxis, Rng& rng,
+                                 double radius = 1.0);
+
+/// Random n-point pattern usable as a target F (general position).
+Configuration randomPattern(std::size_t n, Rng& rng, double radius = 1.0);
+
+}  // namespace apf::config

@@ -1,0 +1,59 @@
+#include "config/rays.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/angle.h"
+
+namespace apf::config {
+
+std::vector<double> rayDirections(const Configuration& m, Vec2 c,
+                                  const Tol& tol) {
+  std::vector<double> dirs;
+  dirs.reserve(m.size());
+  for (const Vec2& q : m.points()) {
+    const Vec2 d = q - c;
+    if (d.norm() <= tol.dist) continue;
+    dirs.push_back(geom::norm2pi(d.arg()));
+  }
+  std::sort(dirs.begin(), dirs.end());
+  std::vector<double> out;
+  for (double a : dirs) {
+    if (out.empty() || a - out.back() > tol.ang) out.push_back(a);
+  }
+  if (out.size() >= 2 && out.front() + geom::kTwoPi - out.back() <= tol.ang) {
+    out.pop_back();
+  }
+  return out;
+}
+
+double alphaMin(const Configuration& m, Vec2 c, const Tol& tol) {
+  const auto dirs = rayDirections(m, c, tol);
+  if (dirs.size() < 2) return geom::kTwoPi;
+  double best = geom::kTwoPi;
+  for (std::size_t k = 0; k < dirs.size(); ++k) {
+    const double next = (k + 1 < dirs.size()) ? dirs[k + 1]
+                                              : dirs[0] + geom::kTwoPi;
+    // The angle between half-lines is the gap or its reflex complement,
+    // whichever is smaller; gaps are already in (0, 2pi).
+    const double gap = next - dirs[k];
+    best = std::min(best, std::min(gap, geom::kTwoPi - gap));
+  }
+  return best;
+}
+
+double alphaMinAt(Vec2 p, const Configuration& m, Vec2 c, const Tol& tol) {
+  const Vec2 dp = p - c;
+  if (dp.norm() <= tol.dist) return geom::kTwoPi;
+  const double ap = geom::norm2pi(dp.arg());
+  double best = geom::kTwoPi;
+  for (const Vec2& q : m.points()) {
+    const Vec2 d = q - c;
+    if (d.norm() <= tol.dist) continue;
+    const double a = geom::angDist(ap, geom::norm2pi(d.arg()));
+    if (a > tol.ang) best = std::min(best, a);
+  }
+  return best;
+}
+
+}  // namespace apf::config

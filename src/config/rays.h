@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file rays.h
+/// Helpers over the half-lines H_c(M) from a center through robot positions
+/// (paper §2 notation: alpha_min).
+
+#include <vector>
+
+#include "config/configuration.h"
+
+namespace apf::config {
+
+/// Direction angles (deduplicated, sorted, in [0, 2pi)) of the half-lines
+/// from c through the points of m. Points within tol of c are skipped.
+std::vector<double> rayDirections(const Configuration& m, Vec2 c,
+                                  const Tol& tol = geom::kDefaultTol);
+
+/// alpha_min,c(M): the minimum angle between two distinct half-lines of
+/// H_c(M). Returns 2*pi when fewer than two rays exist.
+double alphaMin(const Configuration& m, Vec2 c,
+                const Tol& tol = geom::kDefaultTol);
+
+/// alpha_min,c(p, M): the minimum non-null angle between the ray of p and
+/// the rays of M's points. Returns 2*pi when undefined.
+double alphaMinAt(Vec2 p, const Configuration& m, Vec2 c,
+                  const Tol& tol = geom::kDefaultTol);
+
+}  // namespace apf::config

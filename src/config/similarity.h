@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file similarity.h
+/// The paper's similarity relation on point sets: A ~ B when B can be
+/// obtained from A by translation, scaling, rotation, or symmetry
+/// (reflection). Multiplicity points are honoured: both sides are matched as
+/// multisets.
+
+#include <optional>
+
+#include "config/configuration.h"
+
+namespace apf::config {
+
+/// A similarity transform mapping configuration A onto configuration B
+/// (multiset-exactly, up to tolerance), or nullopt when none exists.
+/// Set allowReflection = false to test direct similarity only.
+std::optional<Similarity> findSimilarity(const Configuration& a,
+                                         const Configuration& b,
+                                         bool allowReflection = true,
+                                         const Tol& tol = geom::kDefaultTol);
+
+/// True when A ~ B.
+bool similar(const Configuration& a, const Configuration& b,
+             const Tol& tol = geom::kDefaultTol);
+
+/// Multiset coincidence of two same-size configurations (no transform).
+bool coincident(const Configuration& a, const Configuration& b,
+                const Tol& tol = geom::kDefaultTol);
+
+}  // namespace apf::config

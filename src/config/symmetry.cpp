@@ -1,0 +1,109 @@
+#include "config/symmetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/angle.h"
+
+namespace apf::config {
+namespace {
+
+/// Multiset coincidence of `a` and `b` (same size assumed): greedy matching
+/// is sound here because the tolerance is far below point separation.
+bool coincides(const std::vector<Vec2>& a, const std::vector<Vec2>& b,
+               const Tol& tol) {
+  std::vector<bool> used(b.size(), false);
+  for (const Vec2& p : a) {
+    bool found = false;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (!used[j] && geom::nearlyEqual(p, b[j], tol)) {
+        used[j] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool rotationMapsToSelf(const Configuration& p, Vec2 center, double angle,
+                        const Tol& tol) {
+  std::vector<Vec2> rotated;
+  rotated.reserve(p.size());
+  for (const Vec2& q : p.points()) {
+    rotated.push_back(center + (q - center).rotated(angle));
+  }
+  return coincides(rotated, p.points(), tol);
+}
+
+bool reflectionMapsToSelf(const Configuration& p, Vec2 center, double axisDir,
+                          const Tol& tol) {
+  const Vec2 u{std::cos(axisDir), std::sin(axisDir)};
+  std::vector<Vec2> reflected;
+  reflected.reserve(p.size());
+  for (const Vec2& q : p.points()) {
+    const Vec2 d = q - center;
+    // Reflect d across the axis direction u: 2 (d.u) u - d.
+    reflected.push_back(center + u * (2.0 * d.dot(u)) - d);
+  }
+  return coincides(reflected, p.points(), tol);
+}
+
+int symmetricity(const Configuration& p, Vec2 center, const Tol& tol) {
+  const int n = static_cast<int>(p.size());
+  if (n <= 1) return std::max(n, 1);
+  // Points at the center are fixed by every rotation; symmetricity is
+  // governed by the remaining points, and any m that maps them to
+  // themselves works. The candidate orders divide the number of off-center
+  // points.
+  int off = 0;
+  for (const Vec2& q : p.points()) {
+    if (geom::dist(q, center) > tol.dist) ++off;
+  }
+  if (off == 0) return 1;
+  for (int m = off; m >= 2; --m) {
+    if (off % m != 0) continue;
+    if (rotationMapsToSelf(p, center, geom::kTwoPi / m, tol)) return m;
+  }
+  return 1;
+}
+
+std::vector<double> symmetryAxes(const Configuration& p, Vec2 center,
+                                 const Tol& tol) {
+  // Candidate axis directions: the direction of each point, and the bisector
+  // of each pair of points (both mod pi). Any true axis must be one of them
+  // (an axis either passes through a point or bisects a mirror pair).
+  std::vector<double> candidates;
+  const auto& pts = p.points();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Vec2 di = pts[i] - center;
+    if (di.norm() <= tol.dist) continue;
+    const double ai = geom::norm2pi(di.arg());
+    candidates.push_back(std::fmod(ai, geom::kPi));
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      const Vec2 dj = pts[j] - center;
+      if (dj.norm() <= tol.dist) continue;
+      const double aj = geom::norm2pi(dj.arg());
+      candidates.push_back(std::fmod((ai + aj) / 2.0, geom::kPi));
+      candidates.push_back(
+          std::fmod((ai + aj) / 2.0 + geom::kPi / 2.0, geom::kPi));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<double> axes;
+  for (double a : candidates) {
+    if (!axes.empty() && std::fabs(a - axes.back()) <= tol.ang) continue;
+    if (reflectionMapsToSelf(p, center, a, tol)) axes.push_back(a);
+  }
+  // Merge the wrap-around duplicate (axis near 0 and near pi are the same).
+  if (axes.size() >= 2 &&
+      std::fabs(axes.front() + geom::kPi - axes.back()) <= tol.ang) {
+    axes.pop_back();
+  }
+  return axes;
+}
+
+}  // namespace apf::config

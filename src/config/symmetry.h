@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file symmetry.h
+/// Geometric symmetry of configurations: rotational symmetricity rho(P) and
+/// axes of symmetry, both detected directly (rotate/reflect the multiset and
+/// test coincidence) rather than through view comparison — more robust
+/// numerically, and cross-checked against the view machinery in tests.
+
+#include <vector>
+
+#include "config/configuration.h"
+
+namespace apf::config {
+
+/// True when rotating the configuration by `angle` radians around `center`
+/// maps the multiset of positions onto itself (tolerant matching).
+bool rotationMapsToSelf(const Configuration& p, Vec2 center, double angle,
+                        const Tol& tol = geom::kDefaultTol);
+
+/// True when reflecting across the line through `center` with direction
+/// angle `axisDir` maps the multiset onto itself.
+bool reflectionMapsToSelf(const Configuration& p, Vec2 center, double axisDir,
+                          const Tol& tol = geom::kDefaultTol);
+
+/// Rotational symmetricity rho(P) around `center`: the largest m >= 1 such
+/// that rotation by 2*pi/m maps P onto itself. For a robot configuration
+/// with center not occupied, rho(P) divides |P|.
+int symmetricity(const Configuration& p, Vec2 center,
+                 const Tol& tol = geom::kDefaultTol);
+
+/// Direction angles (in [0, pi)) of all axes of symmetry of P through
+/// `center`. Empty when P has no axial symmetry about that point.
+std::vector<double> symmetryAxes(const Configuration& p, Vec2 center,
+                                 const Tol& tol = geom::kDefaultTol);
+
+}  // namespace apf::config

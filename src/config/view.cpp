@@ -1,0 +1,122 @@
+#include "config/view.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "geom/angle.h"
+
+namespace apf::config {
+
+std::int64_t viewQuantize(double x) {
+  return std::llround(x / kViewQuantum);
+}
+
+int compareViews(const View& a, const View& b) {
+  if (a.atCenter != b.atCenter) return a.atCenter ? 1 : -1;
+  if (a.key != b.key) return a.key < b.key ? -1 : 1;
+  return 0;
+}
+
+namespace {
+
+// Polar coordinates are (radius, angle) — radius FIRST, as in the paper's
+// "r is at coordinate (1, 0)". Radii are normalized by |r|, so a robot
+// closer to the center sees every other robot with a larger radial
+// coordinate and its sorted sequence is lexicographically greater: the
+// innermost robots have the greatest views. (Property 2's proof and the
+// election algorithm both rely on exactly this.)
+struct Entry {
+  std::int64_t rho;
+  std::int64_t theta;
+  std::int64_t count;
+  auto operator<=>(const Entry&) const = default;
+};
+
+std::vector<std::int64_t> flatten(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end());
+  std::vector<std::int64_t> key;
+  key.reserve(entries.size() * 3);
+  for (const Entry& e : entries) {
+    key.push_back(e.rho);
+    key.push_back(e.theta);
+    key.push_back(e.count);
+  }
+  return key;
+}
+
+}  // namespace
+
+View localView(const Configuration& p, std::size_t i, Vec2 center,
+               bool withMultiplicity, const Tol& tol) {
+  const Vec2 r = p[i];
+  const double rDist = geom::dist(r, center);
+  if (rDist <= tol.dist) return View{{}, 0, true};
+  const double rArg = (r - center).arg();
+
+  const auto groups = p.grouped(tol);
+  std::array<std::vector<Entry>, 2> seqs;  // [0] = ccw, [1] = cw
+  for (const MultiPoint& g : groups) {
+    const double d = geom::dist(g.pos, center);
+    const std::int64_t rho = viewQuantize(d / rDist);
+    const std::int64_t count = withMultiplicity ? g.count : 1;
+    double rel = 0.0;
+    if (d > tol.dist) rel = geom::norm2pi((g.pos - center).arg() - rArg);
+    // ccw orientation measures rel; cw measures the opposite sweep. Both are
+    // quantized from doubles (not derived by integer subtraction) so the
+    // arithmetic mirrors exactly what a reflected frame would compute.
+    const double relCw = (rel == 0.0) ? 0.0 : geom::kTwoPi - rel;
+    const std::int64_t full = viewQuantize(geom::kTwoPi);
+    const std::int64_t tCcw = viewQuantize(rel) % full;
+    const std::int64_t tCw = viewQuantize(relCw) % full;
+    seqs[0].push_back({rho, tCcw, count});
+    seqs[1].push_back({rho, tCw, count});
+  }
+
+  std::vector<std::int64_t> keyCcw = flatten(std::move(seqs[0]));
+  std::vector<std::int64_t> keyCw = flatten(std::move(seqs[1]));
+  if (keyCcw == keyCw) return View{std::move(keyCcw), 0, false};
+  if (keyCcw > keyCw) return View{std::move(keyCcw), +1, false};
+  return View{std::move(keyCw), -1, false};
+}
+
+std::vector<View> allViews(const Configuration& p, Vec2 center,
+                           bool withMultiplicity, const Tol& tol) {
+  std::vector<View> out;
+  out.reserve(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    out.push_back(localView(p, i, center, withMultiplicity, tol));
+  }
+  return out;
+}
+
+std::vector<std::size_t> byViewDescending(const Configuration& p, Vec2 center,
+                                          bool withMultiplicity,
+                                          const Tol& tol) {
+  const auto views = allViews(p, center, withMultiplicity, tol);
+  std::vector<std::size_t> idx(p.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return compareViews(views[a], views[b]) > 0;
+  });
+  return idx;
+}
+
+std::vector<std::size_t> maxViewRobots(const Configuration& p, Vec2 center,
+                                       bool withMultiplicity, const Tol& tol) {
+  const auto views = allViews(p, center, withMultiplicity, tol);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    bool isMax = true;
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      if (compareViews(views[j], views[i]) > 0) {
+        isMax = false;
+        break;
+      }
+    }
+    if (isMax) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace apf::config

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file analysis.h
+/// Shared per-activation analysis of the observed configuration: the robot
+/// normalizes its snapshot (C(P) = C(F) = unit circle at the origin of its
+/// local frame), then derives centers, views, regular/shifted sets, and the
+/// selected robot. Everything here is deterministic and frame-covariant, so
+/// all robots observing the same instant agree on the analysis.
+
+#include <optional>
+
+#include "config/configuration.h"
+#include "config/regular.h"
+#include "config/shifted.h"
+#include "config/view.h"
+#include "core/pattern_info.h"
+#include "sim/algorithm.h"
+
+namespace apf::core {
+
+using config::Configuration;
+using geom::Vec2;
+
+/// Analysis context built once per Compute call.
+class Analysis {
+ public:
+  /// Builds the context from a snapshot. `ok()` is false when the snapshot
+  /// is degenerate (all robots coincident, pattern degenerate).
+  explicit Analysis(const sim::Snapshot& snap);
+
+  bool ok() const { return ok_; }
+
+  /// Normalized robots / pattern (unit SEC at origin).
+  const Configuration& P() const { return p_; }
+  const Configuration& F() const { return f_; }
+  std::size_t self() const { return self_; }
+  bool multiplicity() const { return multiplicity_; }
+
+  /// Transform mapping normalized coordinates back to the robot's local
+  /// frame (for building output paths).
+  const geom::Similarity& denormalize() const { return denorm_; }
+
+  /// c(P): the shifted/regular set's center when one exists (the paper's
+  /// c(P) extended to shifted configurations, which the descent phase of
+  /// the election requires), else the SEC center.
+  Vec2 centerP();
+  /// c(F): F is normalized, but a regular pattern's grid center may differ
+  /// from the origin.
+  Vec2 centerF();
+
+  /// l_F: distance of the second-closest ring of F to c(F).
+  double lF();
+
+  /// reg(P) / shifted set of P (cached).
+  const std::optional<config::RegularSetInfo>& regularSet();
+  const std::optional<config::ShiftedSetInfo>& shiftedSet();
+
+  /// The selected robot (paper: r in D(l_F / 2), no other robot strictly
+  /// inside D(2 |r|)), or nullopt. Unique when it exists.
+  std::optional<std::size_t> selectedRobot();
+
+  /// Views of P around centerP (no multiplicity weighting unless the run
+  /// has multiplicity detection).
+  const std::vector<config::View>& viewsP();
+  /// Views of F around its SEC center (cached per pattern). All accessors
+  /// below require ok(); degenerate snapshots keep the analysis unusable
+  /// (selectedRobot() and lF() degrade gracefully instead).
+  const std::vector<config::View>& viewsF() { return patternInfo().views; }
+
+  /// Max-view robots of P. Fast path: a max-view robot is always on the
+  /// innermost ring (its first view coordinate is the ring ratio), so only
+  /// ring robots' views are compared.
+  std::vector<std::size_t> maxViewP();
+  const std::vector<std::size_t>& maxViewNonHoldersF() {
+    return patternInfo().maxViewNonHolders;
+  }
+
+  /// The cached pattern-side analysis (l_F, f_s, fmax, circles, ...).
+  const PatternInfo& patternInfo() const { return *pinfo_; }
+
+  /// Radius of robot i from centerP.
+  double radius(std::size_t i) { return geom::dist(p_[i], centerP()); }
+
+ private:
+  bool ok_ = false;
+  Configuration p_;
+  Configuration f_;
+  std::size_t self_ = 0;
+  bool multiplicity_ = false;
+  geom::Similarity denorm_;
+
+  std::optional<Vec2> centerP_;
+  std::optional<Vec2> centerF_;
+  bool regularComputed_ = false;
+  std::optional<config::RegularSetInfo> regular_;
+  bool shiftedComputed_ = false;
+  std::optional<config::ShiftedSetInfo> shifted_;
+  bool selectedComputed_ = false;
+  std::optional<std::size_t> selected_;
+  std::optional<std::vector<config::View>> viewsP_;
+  const PatternInfo* pinfo_ = nullptr;
+};
+
+}  // namespace apf::core

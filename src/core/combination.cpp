@@ -1,0 +1,33 @@
+#include "core/combination.h"
+
+namespace apf::core {
+
+ActivityReport probeActivity(const sim::Algorithm& algo,
+                             const config::Configuration& robots,
+                             const config::Configuration& pattern,
+                             bool multiplicityDetection) {
+  ActivityReport out;
+  for (std::size_t i = 0; i < robots.size(); ++i) {
+    sim::Snapshot snap;
+    // Identity frame translated so self is at the origin (the model's
+    // ego-centered snapshot); algorithms are frame-covariant, so the probe
+    // frame choice cannot change activity.
+    std::vector<geom::Vec2> local;
+    local.reserve(robots.size());
+    for (const auto& q : robots.points()) local.push_back(q - robots[i]);
+    snap.robots = config::Configuration(std::move(local));
+    snap.selfIndex = i;
+    snap.pattern = pattern;
+    snap.multiplicityDetection = multiplicityDetection;
+    sched::RandomSource probe(0x9E3779B9u + i);
+    const sim::Action act = algo.compute(snap, probe);
+    if (act.isMove() && !out.ordersMove) {
+      out.ordersMove = true;
+      out.mover = i;
+    }
+    if (probe.bitsConsumed() > 0) out.consumesRandomness = true;
+  }
+  return out;
+}
+
+}  // namespace apf::core

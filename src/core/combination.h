@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file combination.h
+/// The paper's "combination of algorithms" framework (§2), made executable.
+///
+/// Oblivious robots cannot sequence algorithms explicitly; instead, each
+/// sub-algorithm has an ACTIVE SET of configurations, sub-algorithms have
+/// pairwise disjoint active sets, and each satisfies TERMINATION AWARENESS
+/// (its empty configurations are terminal). The partial order psi_1 ~> psi_2
+/// ("psi_1 hands off to psi_2") then makes the combination behave like
+/// sequential composition.
+///
+/// These utilities make those meta-properties empirically checkable: they
+/// probe an algorithm on a configuration (as every robot, with throwaway
+/// randomness) and report whether the configuration is active (someone
+/// would move or flip a coin) or empty. Tests use them to validate the
+/// paper's Lemmas 2-4 structure on sampled executions.
+
+#include "config/configuration.h"
+#include "sim/algorithm.h"
+
+namespace apf::core {
+
+/// How a configuration relates to an algorithm's active set.
+struct ActivityReport {
+  /// Some robot is ordered to move.
+  bool ordersMove = false;
+  /// Some robot consumes randomness (active even without movement: the
+  /// election keeps flipping coins in place).
+  bool consumesRandomness = false;
+  /// Index of a robot ordered to move (first found), if any.
+  std::size_t mover = 0;
+
+  bool active() const { return ordersMove || consumesRandomness; }
+};
+
+/// Probes `algo` on a static configuration: runs Compute for every robot
+/// (identity frames, fresh throwaway random sources) and aggregates. This
+/// is the paper's "P is empty for psi" predicate, evaluated exactly.
+ActivityReport probeActivity(const sim::Algorithm& algo,
+                             const config::Configuration& robots,
+                             const config::Configuration& pattern,
+                             bool multiplicityDetection = false);
+
+}  // namespace apf::core

@@ -1,0 +1,108 @@
+#include "core/form_pattern.h"
+
+#include "config/similarity.h"
+#include "core/analysis.h"
+#include "core/dpf.h"
+#include "core/moves.h"
+#include "core/multiplicity.h"
+#include "core/phases.h"
+#include "core/rsb.h"
+#include "core/scattering.h"
+
+namespace apf::core {
+namespace {
+
+using sim::Action;
+
+/// Tolerance for "has the pattern been reached" matching: robots stop
+/// rotating within 1e-7 of their target angles (to avoid chasing
+/// per-snapshot normalization noise), so shape matching must absorb that.
+/// Detection predicates (regular sets etc.) keep the tight 1e-9 tolerance —
+/// static robots are bit-stable.
+constexpr geom::Tol kMatchTol{1e-6, 1e-6};
+
+/// Lines 1-4 of the main algorithm: when a unique max-view robot r exists
+/// and P - {r} already matches F minus a max-view non-holding point f, r
+/// walks straight to f's place and nobody else moves.
+std::optional<Action> finalMove(Analysis& a) {
+  const auto maxP = a.maxViewP();
+  if (maxP.size() != 1) return std::nullopt;
+  const std::size_t r = maxP.front();
+  for (std::size_t f : a.maxViewNonHoldersF()) {
+    const auto t = config::findSimilarity(a.F().without(f),
+                                          a.P().without(r), true, kMatchTol);
+    if (!t) continue;
+    if (a.self() != r) return Action::stay(kFinalMove);
+    const geom::Vec2 dest = t->apply(a.F()[f]);
+    // The similarity fit carries ~1e-10 noise; don't chase it forever.
+    if (geom::dist(dest, a.P()[r]) <= 1e-8) return Action::stay(kFinalMove);
+    return Action{linePath(a.P()[r], dest), kFinalMove};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Action FormPatternAlgorithm::compute(const sim::Snapshot& snap,
+                                     sched::RandomSource& rng) const {
+  // Appendix C: when the pattern's center is a multiplicity point, the
+  // robots form F~ (center points relocated to g_F) and finish with a
+  // gather move down the ray. The main pipeline then runs against F~.
+  std::optional<CenterMultiplicity> cm;
+  const sim::Snapshot* working = &snap;
+  sim::Snapshot rewritten;
+  if (snap.multiplicityDetection) {
+    cm = analyzeCenterMultiplicity(snap.pattern);
+    if (cm) {
+      rewritten = snap;
+      rewritten.pattern = cm->fTilde;
+      working = &rewritten;
+    }
+  }
+
+  Analysis a(*working);
+  if (!a.ok()) return Action::stay(kStay);
+
+  if (cm) {
+    // Terminal against the ORIGINAL pattern; F~ being formed is not
+    // terminal — it triggers the gather move instead.
+    if (config::similar(a.P(), cm->fOriginal, kMatchTol)) {
+      return Action::stay(kTerminal);
+    }
+    if (auto gather = centerGatherMove(a, *cm)) {
+      if (gather->isMove()) {
+        gather->path = gather->path.transformed(a.denormalize());
+      }
+      return *gather;
+    }
+  } else if (config::similar(a.P(), a.F(), kMatchTol)) {
+    // Terminal: the pattern is formed; stay forever.
+    return Action::stay(kTerminal);
+  }
+
+  Action act = Action::stay(kStay);
+  if (auto fin = finalMove(a)) {
+    act = *fin;
+  } else if (!a.selectedRobot()) {
+    // Multiplicity points are unresolvable for the election: co-located
+    // robots tie in every view and only randomness can split them. With
+    // detection on, dissolve them with the scattering rule first (they can
+    // arise mid-run when phase 3 merges robots at a pattern multiplicity
+    // point before the rest of the pattern is done). Intended merges are
+    // protected: in the DPF regime a selected robot exists and this branch
+    // is not taken, and formed/gather configurations returned above.
+    if (a.multiplicity() && working->robots.hasMultiplicity()) {
+      static const ScatterAlgorithm scatter;
+      return scatter.compute(*working, rng);  // already in the local frame
+    }
+    act = rsbCompute(a, rng);
+  } else {
+    act = dpfCompute(a);
+  }
+  if (act.isMove()) {
+    act.path = act.path.transformed(a.denormalize());
+  }
+  return act;
+}
+
+}  // namespace apf::core

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file form_pattern.h
+/// The paper's main algorithm (formPattern): the partially-ordered
+/// combination {psi_RSB, psi_DPF} plus the final move of the selected robot
+/// (lines 3-4 of the pseudo-code). Forms any pattern F from any initial
+/// configuration without multiplicity, with probability 1, for n >= 7
+/// robots — with no common North, no common chirality, full asynchrony,
+/// non-rigid movement, and one random bit per robot per cycle (Theorem 2).
+
+#include "sim/algorithm.h"
+
+namespace apf::core {
+
+class FormPatternAlgorithm : public sim::Algorithm {
+ public:
+  sim::Action compute(const sim::Snapshot& snap,
+                      sched::RandomSource& rng) const override;
+  std::string name() const override { return "bramas-tixeuil"; }
+};
+
+}  // namespace apf::core

@@ -1,0 +1,46 @@
+#include "core/moves.h"
+
+#include <cmath>
+
+#include "geom/angle.h"
+
+namespace apf::core {
+
+using geom::Path;
+using geom::Vec2;
+
+Path radialPath(Vec2 c, Vec2 from, double targetRadius) {
+  const Vec2 d = from - c;
+  const double r = d.norm();
+  Path p(from);
+  if (r < 1e-15) return p;  // at the center: direction undefined, stay
+  if (std::fabs(r - targetRadius) < 1e-15) return p;
+  p.lineTo(c + d * (targetRadius / r));
+  return p;
+}
+
+Path arcToAngle(Vec2 c, Vec2 from, double targetAngle) {
+  const Vec2 d = from - c;
+  Path p(from);
+  if (d.norm() < 1e-15) return p;
+  const double sweep = geom::normPi(targetAngle - d.arg());
+  if (std::fabs(sweep) < 1e-15) return p;
+  p.arcAround(c, sweep);
+  return p;
+}
+
+Path arcBySweep(Vec2 c, Vec2 from, double sweep) {
+  Path p(from);
+  if ((from - c).norm() < 1e-15 || std::fabs(sweep) < 1e-15) return p;
+  p.arcAround(c, sweep);
+  return p;
+}
+
+Path linePath(Vec2 from, Vec2 to) {
+  Path p(from);
+  if (geom::dist(from, to) < 1e-15) return p;
+  p.lineTo(to);
+  return p;
+}
+
+}  // namespace apf::core

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file moves.h
+/// Path constructors for the two movement primitives the paper uses:
+/// radial movements (along the half-line from the center through the robot)
+/// and movements "on its circle" (arcs around the center). Both keep their
+/// defining invariant exactly even when the adversary stops the robot
+/// mid-path.
+
+#include "geom/path.h"
+#include "geom/vec2.h"
+
+namespace apf::core {
+
+/// Straight radial path from `from` to distance `targetRadius` on the same
+/// half-line from `c`. Empty when already there.
+geom::Path radialPath(geom::Vec2 c, geom::Vec2 from, double targetRadius);
+
+/// Arc around `c` from `from`'s direction to absolute direction
+/// `targetAngle`, sweeping the SHORT way. Empty when already there.
+geom::Path arcToAngle(geom::Vec2 c, geom::Vec2 from, double targetAngle);
+
+/// Arc around `c` by an explicit signed sweep.
+geom::Path arcBySweep(geom::Vec2 c, geom::Vec2 from, double sweep);
+
+/// Straight segment path.
+geom::Path linePath(geom::Vec2 from, geom::Vec2 to);
+
+}  // namespace apf::core

@@ -1,0 +1,122 @@
+#include "core/pattern_info.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "geom/angle.h"
+#include "geom/sec.h"
+
+namespace apf::core {
+namespace {
+
+using config::Configuration;
+using geom::kPi;
+using geom::kTwoPi;
+using geom::Vec2;
+
+constexpr double kTol = 1e-9;
+constexpr double kAngTol = 1e-7;
+
+PatternInfo build(const Configuration& f, bool multiplicity) {
+  PatternInfo out;
+  out.f = f;
+  out.lF = config::secondClosestDistance(f, Vec2{});
+  out.views = config::allViews(f, Vec2{}, multiplicity);
+
+  std::vector<std::size_t> nonHolders;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (!geom::holdsSec(f.span(), i)) nonHolders.push_back(i);
+  }
+  for (std::size_t i : nonHolders) {
+    bool isMax = true;
+    for (std::size_t j : nonHolders) {
+      if (config::compareViews(out.views[j], out.views[i]) > 0) {
+        isMax = false;
+        break;
+      }
+    }
+    if (isMax) out.maxViewNonHolders.push_back(i);
+  }
+
+  if (f.size() < 4 || out.maxViewNonHolders.empty()) return out;
+
+  out.fs = out.maxViewNonHolders.front();
+  std::vector<Vec2> fp;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (i != out.fs) fp.push_back(f[i]);
+  }
+  out.fPrime = Configuration(std::move(fp));
+
+  const auto order =
+      config::byViewDescending(out.fPrime, Vec2{}, multiplicity);
+  out.fmax = order.front();
+  out.fmaxRadius = out.fPrime[out.fmax].norm();
+  out.fmaxArg = out.fPrime[out.fmax].arg();
+
+  out.thetaFPrime = kPi;
+  for (std::size_t i = 0; i < out.fPrime.size(); ++i) {
+    if (i == out.fmax) continue;
+    if (geom::distEq(out.fPrime[i].norm(), out.fmaxRadius)) {
+      out.thetaFPrime = std::min(
+          out.thetaFPrime,
+          geom::angDist(out.fPrime[i].arg(), out.fmaxArg));
+    }
+  }
+
+  const auto view = config::localView(out.fPrime, out.fmax, Vec2{});
+  out.fOrient = (view.orientation == -1) ? -1.0 : 1.0;
+
+  out.targets.reserve(out.fPrime.size());
+  for (std::size_t i = 0; i < out.fPrime.size(); ++i) {
+    const double r = out.fPrime[i].norm();
+    double ang = 0.0;
+    if (r > kTol) {
+      ang = geom::norm2pi(out.fOrient * (out.fPrime[i].arg() - out.fmaxArg));
+      if (ang > kTwoPi - kAngTol) ang = 0.0;
+    }
+    out.targets.push_back({r, ang});
+  }
+
+  std::vector<double> radii;
+  for (const auto& t : out.targets) radii.push_back(t.radius);
+  std::sort(radii.begin(), radii.end(), std::greater<>());
+  for (double r : radii) {
+    if (out.circleRadii.empty() || out.circleRadii.back() - r > kTol) {
+      out.circleRadii.push_back(r);
+      out.circleCounts.push_back(1);
+    } else {
+      ++out.circleCounts.back();
+    }
+  }
+  out.valid = true;
+  return out;
+}
+
+/// Quantized key for the cache.
+std::vector<std::int64_t> keyOf(const Configuration& f, bool multiplicity) {
+  std::vector<std::int64_t> key;
+  key.reserve(f.size() * 2 + 1);
+  key.push_back(multiplicity ? 1 : 0);
+  for (const Vec2& p : f.points()) {
+    key.push_back(std::llround(p.x * 1e9));
+    key.push_back(std::llround(p.y * 1e9));
+  }
+  return key;
+}
+
+}  // namespace
+
+const PatternInfo& PatternInfo::get(const Configuration& fNormalized,
+                                    bool multiplicity) {
+  thread_local std::map<std::vector<std::int64_t>, PatternInfo> cache;
+  const auto key = keyOf(fNormalized, multiplicity);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    if (cache.size() > 64) cache.clear();  // bound memory across sweeps
+    it = cache.emplace(key, build(fNormalized, multiplicity)).first;
+  }
+  return it->second;
+}
+
+}  // namespace apf::core

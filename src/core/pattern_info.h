@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file pattern_info.h
+/// Cached analysis of the target pattern F. The pattern is immutable for
+/// the lifetime of a run, and every robot receives the same coordinate
+/// list, so all F-side computations (views, the removed point f_s, the
+/// orientation anchor fmax, theta_F', the circle decomposition) are
+/// computed once per distinct pattern and shared. The cache is keyed by the
+/// quantized normalized coordinates (thread-local: one simulation per
+/// thread).
+
+#include <cstdint>
+#include <vector>
+
+#include "config/configuration.h"
+#include "config/view.h"
+
+namespace apf::core {
+
+struct PatternInfo {
+  /// Normalized pattern (unit SEC at origin).
+  config::Configuration f;
+  /// True when the pattern analysis is usable (|F| >= 4, non-degenerate).
+  bool valid = false;
+
+  double lF = 0.0;  ///< second-closest ring distance from the SEC center
+  std::vector<config::View> views;  ///< views around the SEC center
+  std::vector<std::size_t> maxViewNonHolders;
+
+  // --- DPF decomposition ---
+  std::size_t fs = 0;          ///< removed max-view non-holder
+  config::Configuration fPrime;  ///< F - {fs}
+  std::size_t fmax = 0;        ///< max-view point of F' (index into fPrime)
+  double fmaxRadius = 0.0;
+  double fmaxArg = 0.0;
+  double thetaFPrime = 0.0;
+  double fOrient = 1.0;  ///< -1 when fmax's maximizing view is clockwise
+
+  struct Polar {
+    double radius;
+    double angle;
+  };
+  /// F' in the Z-polar embedding (angle 0 = fmax's ray, fOrient applied).
+  std::vector<Polar> targets;
+  /// Distinct target radii, descending, with per-circle counts.
+  std::vector<double> circleRadii;
+  std::vector<int> circleCounts;
+
+  /// Cached lookup (computes on first use per distinct pattern).
+  static const PatternInfo& get(const config::Configuration& fNormalized,
+                                bool multiplicity);
+};
+
+}  // namespace apf::core

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file phases.h
+/// Phase tags attached to every computed action; the metrics layer
+/// aggregates activations per phase (experiment T8).
+
+namespace apf::core {
+
+enum PhaseTag : int {
+  kStay = 0,           ///< no phase ordered a move
+  kTerminal = 1,       ///< pattern formed; algorithm idle
+  kFinalMove = 2,      ///< main alg. line 3-4: last robot walks to its point
+  kRsbShifted = 3,     ///< psi_RSB: shifted-set handling (shift, descend)
+  kRsbElection = 4,    ///< psi_RSB: randomized election walk
+  kRsbAsymmetric = 5,  ///< psi_RSB restricted to Q^c: rmax descends
+  kRsbPartial = 6,     ///< psi_RSB: handlePartiallyFormedPattern
+  kDpfCoord = 7,       ///< psi_DPF phase 1: global coordinate system
+  kDpfNullAngle = 8,   ///< psi_DPF: clear robots off rmax's ray
+  kDpfFixCircle = 9,   ///< psi_DPF: fixEnclosingCircle (|C(F) cap F'| = 2)
+  kDpfClean = 10,      ///< psi_DPF phase 2: cleanExterior
+  kDpfLocate = 11,     ///< psi_DPF phase 2: locateEnoughRobots
+  kDpfRemove = 12,     ///< psi_DPF phase 2: removeRobotsInExcess
+  kDpfRotate = 13,     ///< psi_DPF phase 3: rotate robots on circles
+  kMultiplicity = 14,  ///< multiplicity extension: final gather moves
+  kBaseline = 15,      ///< baseline algorithms
+};
+
+const char* phaseName(int tag);
+
+}  // namespace apf::core

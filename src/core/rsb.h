@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file rsb.h
+/// psi_RSB — the randomized symmetry-breaking algorithm (paper §3).
+///
+/// Goal: from any configuration without a selected robot, reach (with
+/// probability 1) a configuration with a selected robot, using one random
+/// bit per robot per cycle. Structure:
+///
+///  * P contains a SHIFTED regular set: drive the shifted robot to shift
+///    1/8, bring the other set members down to its circle, widen to 1/4,
+///    then descend radially until selected (§3.1, selectARobot).
+///  * P contains a regular set Q: randomized election among the closest
+///    robots of Q (walk toward the center w.p. 1/2, bounded step away
+///    otherwise); the robot that gets strictly inside 7/8 of the others'
+///    minimum becomes elected and starts the shift. A pre-check
+///    (handlePartiallyFormedPattern, appendix A) guards the corner where
+///    P \ Q already sits on pattern points.
+///  * No regular set (Q^c): all views are distinct; the unique max-view
+///    non-SEC-holding robot descends radially until it becomes selected (or
+///    until the configuration gains a regular set, which hands control to
+///    the previous case).
+///
+/// Documented deviations from the paper's loose pseudo-code (see DESIGN.md):
+/// the election walk and shift creation are restricted to members of Q (the
+/// pseudo-code's "for r in P" would let robots outside the regular set try
+/// to create shifts they cannot belong to), and the "exists r in
+/// [rmax, c(P)) making P regular" test of the Q^c case is realized as a
+/// probe at the radius the robot is about to move through, re-evaluated at
+/// every activation (oblivious robots re-check anyway).
+
+#include "core/analysis.h"
+#include "sched/rng.h"
+#include "sim/algorithm.h"
+
+namespace apf::core {
+
+/// Computes self's psi_RSB action. Precondition: no selected robot, not the
+/// final-move configuration, analysis ok.
+sim::Action rsbCompute(Analysis& a, sched::RandomSource& rng);
+
+/// psi_RSB packaged as a standalone runnable algorithm, terminal once a
+/// selected robot exists. Used by the election experiments (T2, T5), where
+/// only the symmetry-breaking phase is under measurement.
+class RsbOnlyAlgorithm : public sim::Algorithm {
+ public:
+  sim::Action compute(const sim::Snapshot& snap,
+                      sched::RandomSource& rng) const override;
+  std::string name() const override { return "psi-rsb"; }
+};
+
+}  // namespace apf::core

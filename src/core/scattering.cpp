@@ -1,0 +1,89 @@
+#include "core/scattering.h"
+
+#include <cmath>
+#include <limits>
+
+#include "config/similarity.h"
+#include "core/phases.h"
+#include "geom/angle.h"
+
+namespace apf::core {
+
+using config::Configuration;
+using geom::Vec2;
+using sim::Action;
+
+Action ScatterAlgorithm::compute(const sim::Snapshot& snap,
+                                 sched::RandomSource& rng) const {
+  // Without multiplicity detection a robot cannot know it is co-located;
+  // the scattering task is defined with detection (paper [4]).
+  if (!snap.multiplicityDetection) return Action::stay(kStay);
+
+  const Configuration& p = snap.robots;
+  const Vec2 self = p[snap.selfIndex];  // the local origin
+  int coLocated = 0;
+  for (const Vec2& q : p.points()) {
+    if (geom::nearlyEqual(q, self)) ++coLocated;
+  }
+  if (coLocated < 2) return Action::stay(kStay);  // not on a multiplicity pt
+
+  // One random bit: stayers and movers split the group. Co-located robots
+  // see identical snapshots, so all movers compute the same destination.
+  if (!rng.bit()) return Action::stay(kBaseline);
+
+  // Step: a quarter of the distance to the nearest other occupied point
+  // (no new collision possible); direction: away from the centroid of the
+  // other distinct points (frame-covariant, identical for the group).
+  double nearest = std::numeric_limits<double>::infinity();
+  Vec2 centroid{};
+  int others = 0;
+  for (const auto& g : p.grouped()) {
+    if (geom::nearlyEqual(g.pos, self)) continue;
+    nearest = std::min(nearest, geom::dist(g.pos, self));
+    centroid += g.pos * static_cast<double>(g.count);
+    others += g.count;
+  }
+  Vec2 dir;
+  double step;
+  if (others == 0) {
+    // Every robot is at one point (a gathered start): there is no
+    // frame-covariant reference direction. Fall back to the robot's own
+    // frame axis — adversarially identical frames could stall this corner;
+    // the full machinery of [4] is out of scope (documented).
+    dir = {1.0, 0.0};
+    step = 1.0;
+  } else {
+    const Vec2 away = self - centroid / static_cast<double>(others);
+    if (away.norm() < 1e-12) {
+      // Self sits exactly on the centroid: head away from the farthest
+      // distinct point instead (still frame-covariant and group-shared).
+      Vec2 far{};
+      double best = -1.0;
+      for (const auto& g : p.grouped()) {
+        const double d = geom::dist(g.pos, self);
+        if (d > best) {
+          best = d;
+          far = g.pos;
+        }
+      }
+      dir = (self - far).normalized();
+    } else {
+      dir = away.normalized();
+    }
+    step = nearest / 4.0;
+  }
+  geom::Path path(self);
+  path.lineTo(self + dir * step);
+  return Action{path, kBaseline};
+}
+
+Action ScatterThenForm::compute(const sim::Snapshot& snap,
+                                sched::RandomSource& rng) const {
+  // Hand-off rule (safe in SSYNC where cycles are atomic): scatter exactly
+  // while a multiplicity point exists, form otherwise. The active sets are
+  // disjoint by construction.
+  if (snap.robots.hasMultiplicity()) return scatter_.compute(snap, rng);
+  return form_.compute(snap, rng);
+}
+
+}  // namespace apf::core

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file scattering.h
+/// SSYNC scattering + formation (the paper's §5 "perspectives").
+///
+/// The main algorithm requires the INITIAL configuration to be free of
+/// multiplicity points. §5 sketches the fix the authors defer to future
+/// work: in SSYNC, run a scattering phase that eliminates multiplicity
+/// points, then hand off to pattern formation — composition is safe in
+/// SSYNC because cycles are atomic (every Move acts on a fresh snapshot).
+///
+/// The scattering rule (one random bit per robot per cycle, in the spirit
+/// of the authors' scattering paper [4]):
+///
+///   A robot on a multiplicity point flips a coin. Heads: step to a
+///   configuration-determined nearby free spot; tails: stay. Co-located
+///   robots see identical snapshots, so they compute the SAME spot — the
+///   group splits into movers and stayers, and each flip halves a group in
+///   expectation. The step is a quarter of the distance to the nearest
+///   other occupied point, so no new collision can be created; with
+///   probability 1 every multiplicity point dissolves.
+///
+/// ASYNC scattering remains open (the paper's words); ScatterThenForm
+/// is specified for FSYNC/SSYNC only and the tests pin that scope.
+
+#include "core/form_pattern.h"
+#include "sim/algorithm.h"
+
+namespace apf::core {
+
+/// The scattering phase alone: terminal once no multiplicity point exists.
+/// Requires multiplicity detection.
+class ScatterAlgorithm : public sim::Algorithm {
+ public:
+  sim::Action compute(const sim::Snapshot& snap,
+                      sched::RandomSource& rng) const override;
+  std::string name() const override { return "scatter"; }
+};
+
+/// SSYNC combination: scattering while multiplicity exists, the paper's
+/// formPattern afterwards. The active sets are disjoint by construction
+/// (scatter is active exactly on multiplicity configurations; formation is
+/// only consulted on multiplicity-free ones).
+class ScatterThenForm : public sim::Algorithm {
+ public:
+  sim::Action compute(const sim::Snapshot& snap,
+                      sched::RandomSource& rng) const override;
+  std::string name() const override { return "scatter+form"; }
+
+ private:
+  ScatterAlgorithm scatter_;
+  FormPatternAlgorithm form_;
+};
+
+}  // namespace apf::core

@@ -1,0 +1,53 @@
+#include "geom/intersect.h"
+
+#include <cmath>
+
+namespace apf::geom {
+
+std::vector<Vec2> intersectCircles(const Circle& a, const Circle& b,
+                                   const Tol& tol) {
+  const Vec2 d = b.center - a.center;
+  const double dist2 = d.norm2();
+  const double dist = std::sqrt(dist2);
+  if (dist <= tol.dist) return {};  // concentric (coincident or nested)
+  const double sum = a.radius + b.radius;
+  const double diff = std::fabs(a.radius - b.radius);
+  if (dist > sum + tol.dist || dist < diff - tol.dist) return {};
+  // Distance from a.center to the radical line.
+  const double x = (dist2 + a.radius * a.radius - b.radius * b.radius) /
+                   (2.0 * dist);
+  const double h2 = a.radius * a.radius - x * x;
+  const Vec2 u = d / dist;
+  const Vec2 base = a.center + u * x;
+  if (h2 <= tol.dist * tol.dist) return {base};  // tangent
+  const double h = std::sqrt(h2);
+  const Vec2 off = u.perp() * h;
+  return {base + off, base - off};
+}
+
+std::vector<Vec2> intersectLineCircle(Vec2 p, Vec2 d, const Circle& c,
+                                      const Tol& tol) {
+  const double dn = d.norm();
+  if (dn <= tol.dist) return {};
+  const Vec2 u = d / dn;
+  const Vec2 rel = p - c.center;
+  const double b = rel.dot(u);
+  const double disc = b * b - (rel.norm2() - c.radius * c.radius);
+  if (disc < -tol.dist) return {};
+  if (disc <= tol.dist * tol.dist) return {p + u * (-b)};
+  const double s = std::sqrt(std::max(disc, 0.0));
+  return {p + u * (-b - s), p + u * (-b + s)};
+}
+
+std::optional<Vec2> rayCircleFirstHit(Vec2 p, Vec2 d, const Circle& c,
+                                      const Tol& tol) {
+  const double dn = d.norm();
+  if (dn <= tol.dist) return std::nullopt;
+  const Vec2 u = d / dn;
+  for (const Vec2& q : intersectLineCircle(p, d, c, tol)) {
+    if ((q - p).dot(u) >= -tol.dist) return q;
+  }
+  return std::nullopt;
+}
+
+}  // namespace apf::geom

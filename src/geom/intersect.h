@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file intersect.h
+/// Intersection primitives: circle-circle, line-circle, and ray-circle.
+/// Used by diagnostic tooling and tests (e.g., verifying that a radial
+/// descent crosses the selected band where predicted).
+
+#include <optional>
+#include <vector>
+#include <utility>
+
+#include "geom/circle.h"
+#include "geom/vec2.h"
+
+namespace apf::geom {
+
+/// Intersection points of two circles. Empty when disjoint or one contains
+/// the other; a single point when (externally or internally) tangent;
+/// nullopt-like empty vector for coincident circles (infinite solutions).
+std::vector<Vec2> intersectCircles(const Circle& a, const Circle& b,
+                                   const Tol& tol = kDefaultTol);
+
+/// Intersection of the infinite line through p with direction d (unit not
+/// required) and a circle; 0, 1, or 2 points, ordered by line parameter.
+std::vector<Vec2> intersectLineCircle(Vec2 p, Vec2 d, const Circle& c,
+                                      const Tol& tol = kDefaultTol);
+
+/// First intersection of the ray p + t*d (t >= 0) with the circle, if any.
+std::optional<Vec2> rayCircleFirstHit(Vec2 p, Vec2 d, const Circle& c,
+                                      const Tol& tol = kDefaultTol);
+
+}  // namespace apf::geom

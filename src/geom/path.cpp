@@ -1,0 +1,73 @@
+#include "geom/path.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/angle.h"
+
+namespace apf::geom {
+
+Vec2 LineSeg::pointAt(double s) const {
+  const double len = length();
+  if (len <= 0.0) return b;
+  return lerp(a, b, std::clamp(s / len, 0.0, 1.0));
+}
+
+Vec2 ArcSeg::pointAt(double s) const {
+  const double len = length();
+  double t = (len <= 0.0) ? 1.0 : std::clamp(s / len, 0.0, 1.0);
+  const double a = startAngle + sweep * t;
+  return {center.x + radius * std::cos(a), center.y + radius * std::sin(a)};
+}
+
+Vec2 ArcSeg::endPoint() const {
+  const double a = startAngle + sweep;
+  return {center.x + radius * std::cos(a), center.y + radius * std::sin(a)};
+}
+
+Path& Path::lineTo(Vec2 to) {
+  LineSeg seg{end_, to};
+  length_ += seg.length();
+  end_ = to;
+  segs_.push_back(seg);
+  return *this;
+}
+
+Path& Path::arcAround(Vec2 center, double sweep) {
+  const double radius = dist(end_, center);
+  const double startAngle = (end_ - center).arg();
+  ArcSeg seg{center, radius, startAngle, sweep};
+  length_ += seg.length();
+  end_ = seg.endPoint();
+  segs_.push_back(seg);
+  return *this;
+}
+
+Vec2 Path::pointAt(double s) const {
+  if (segs_.empty()) return end_;
+  s = std::clamp(s, 0.0, length_);
+  for (const auto& seg : segs_) {
+    const double len = std::visit([](const auto& g) { return g.length(); }, seg);
+    if (s <= len) {
+      return std::visit([s](const auto& g) { return g.pointAt(s); }, seg);
+    }
+    s -= len;
+  }
+  return end_;
+}
+
+Path Path::transformed(const Similarity& t) const {
+  Path out(t.apply(start_));
+  for (const auto& seg : segs_) {
+    if (const auto* line = std::get_if<LineSeg>(&seg)) {
+      out.lineTo(t.apply(line->b));
+    } else {
+      const auto& arc = std::get<ArcSeg>(seg);
+      const double sweep = t.reflects() ? -arc.sweep : arc.sweep;
+      out.arcAround(t.apply(arc.center), sweep);
+    }
+  }
+  return out;
+}
+
+}  // namespace apf::geom

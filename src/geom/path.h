@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file path.h
+/// Arclength-parameterized movement paths made of line segments and circular
+/// arcs.
+///
+/// The paper's movements are of two kinds: radial (straight toward/away from
+/// the center) and "on its circle" (an arc around the center), sometimes
+/// chained (e.g. cleanExterior: nudge inward, slide on a circle, then move
+/// radially). A Path stores that geometry once, at Compute time; the engine
+/// then advances the robot along it by adversary-chosen arclengths. Because
+/// the arc's center/radius are stored exactly, a robot stopped mid-arc is
+/// still exactly on its circle — which is what the paper's invariants
+/// (Property 2) require and what floating-point waypoint interpolation would
+/// not give.
+
+#include <variant>
+#include <vector>
+
+#include "geom/transform.h"
+#include "geom/vec2.h"
+
+namespace apf::geom {
+
+/// Straight segment from a to b.
+struct LineSeg {
+  Vec2 a;
+  Vec2 b;
+  double length() const { return dist(a, b); }
+  Vec2 pointAt(double s) const;  ///< s in [0, length]
+};
+
+/// Circular arc around `center` with radius `radius`, starting at direction
+/// angle `startAngle`, sweeping by signed `sweep` radians (ccw positive).
+struct ArcSeg {
+  Vec2 center;
+  double radius = 0.0;
+  double startAngle = 0.0;
+  double sweep = 0.0;
+  double length() const { return radius * std::fabs(sweep); }
+  Vec2 pointAt(double s) const;  ///< s in [0, length]
+  Vec2 endPoint() const;
+};
+
+using PathSeg = std::variant<LineSeg, ArcSeg>;
+
+/// A polyline-with-arcs path; continuous by construction.
+class Path {
+ public:
+  Path() = default;
+  explicit Path(Vec2 start) : start_(start), end_(start) {}
+
+  /// Straight move to `to`.
+  Path& lineTo(Vec2 to);
+  /// Arc around `center` by signed `sweep` radians from the current point.
+  Path& arcAround(Vec2 center, double sweep);
+
+  Vec2 start() const { return start_; }
+  Vec2 end() const { return end_; }
+  double length() const { return length_; }
+  bool empty() const { return segs_.empty() || length_ <= 0.0; }
+
+  /// Point at arclength s (clamped to [0, length]).
+  Vec2 pointAt(double s) const;
+
+  /// The path mapped through a similarity transform (arc sweeps flip sign
+  /// under reflection; radii scale).
+  Path transformed(const Similarity& t) const;
+
+  const std::vector<PathSeg>& segments() const { return segs_; }
+
+ private:
+  Vec2 start_{};
+  Vec2 end_{};
+  double length_ = 0.0;
+  std::vector<PathSeg> segs_;
+};
+
+}  // namespace apf::geom

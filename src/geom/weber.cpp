@@ -1,0 +1,170 @@
+#include "geom/weber.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "geom/angle.h"
+
+namespace apf::geom {
+
+Vec2 weberPoint(std::span<const Vec2> pts, int maxIter, double tol) {
+  if (pts.empty()) return {};
+  if (pts.size() == 1) return pts[0];
+  Vec2 x{};
+  for (const Vec2& p : pts) x += p;
+  x = x / static_cast<double>(pts.size());
+
+  for (int it = 0; it < maxIter; ++it) {
+    Vec2 num{};
+    double den = 0.0;
+    Vec2 pull{};  // sum of unit vectors toward points not at x
+    bool atPoint = false;
+    for (const Vec2& p : pts) {
+      const double d = dist(x, p);
+      if (d < 1e-15) {
+        atPoint = true;
+        continue;
+      }
+      num += p / d;
+      den += 1.0 / d;
+      pull += (p - x) / d;
+    }
+    if (den == 0.0) return x;  // all points coincide with x
+    Vec2 next = num / den;
+    if (atPoint) {
+      // Vardi-Zhang: x coincides with an input point; it is the median iff
+      // |pull| <= 1, otherwise step along pull.
+      const double r = pull.norm();
+      if (r <= 1.0) return x;
+      const double step = (r - 1.0) / den;
+      next = x + pull * (step / r);
+    }
+    if (dist(next, x) < tol) return next;
+    x = next;
+  }
+  return x;
+}
+
+double AngularGrid::rayDir(int k) const {
+  const double pairSum = alpha + beta;
+  return norm2pi(theta0 + pairSum * (k / 2) + (k % 2 ? alpha : 0.0));
+}
+
+double gridResidual(const AngularGrid& g, Vec2 p, int k) {
+  return normPi((p - g.center).arg() - g.rayDir(k));
+}
+
+namespace {
+
+/// Solves the n x n linear system A x = b in place (partial pivoting).
+/// Returns false when A is singular.
+template <int N>
+bool solve(std::array<std::array<double, N>, N>& a, std::array<double, N>& b,
+           std::array<double, N>& x) {
+  for (int col = 0; col < N; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < N; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-14) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (int r = col + 1; r < N; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (int c = col; c < N; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  for (int r = N - 1; r >= 0; --r) {
+    double s = b[r];
+    for (int c = r + 1; c < N; ++c) s -= a[r][c] * x[c];
+    x[r] = s / a[r][r];
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<GridFit> fitAngularGrid(std::span<const Vec2> pts,
+                                      std::span<const int> rayIndex,
+                                      int numRays, bool biangular,
+                                      const AngularGrid& init) {
+  AngularGrid g = init;
+  g.numRays = numRays;
+  if (!biangular) {
+    g.alpha = g.beta = kTwoPi / numRays;
+  } else {
+    g.beta = 2.0 * kTwoPi / numRays - g.alpha;
+  }
+
+  constexpr int kMaxIter = 60;
+  const int nParams = biangular ? 4 : 3;
+  double prevSse = std::numeric_limits<double>::infinity();
+
+  for (int it = 0; it < kMaxIter; ++it) {
+    // Accumulate normal equations J^T J dx = -J^T r for parameters
+    // (cx, cy, theta0 [, alpha]).
+    std::array<std::array<double, 4>, 4> jtj{};
+    std::array<double, 4> jtr{};
+    double sse = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const Vec2 d = pts[i] - g.center;
+      const double rho2 = d.norm2();
+      if (rho2 < 1e-24) return std::nullopt;  // point on center: degenerate
+      const int k = rayIndex[i];
+      const double res = gridResidual(g, pts[i], k);
+      sse += res * res;
+      std::array<double, 4> row{d.y / rho2, -d.x / rho2, -1.0, 0.0};
+      if (biangular) {
+        // d rayDir / d alpha: gap pattern contributes (k/2) from pairSum's
+        // alpha (pairSum = alpha + beta, beta = const - alpha cancels) plus
+        // 1 when k is odd. pairSum is fixed, so only the odd-k term remains.
+        row[3] = (k % 2) ? -1.0 : 0.0;
+      }
+      for (int r = 0; r < nParams; ++r) {
+        jtr[r] += row[r] * res;
+        for (int c = 0; c < nParams; ++c) jtj[r][c] += row[r] * row[c];
+      }
+    }
+    if (sse > prevSse * 4.0 + 1e-9) return std::nullopt;  // diverging
+    prevSse = sse;
+
+    std::array<double, 4> step{};
+    bool solved = false;
+    if (biangular) {
+      solved = solve<4>(jtj, jtr, step);
+    } else {
+      std::array<std::array<double, 3>, 3> a{};
+      std::array<double, 3> b{}, x{};
+      for (int r = 0; r < 3; ++r) {
+        b[r] = jtr[r];
+        for (int c = 0; c < 3; ++c) a[r][c] = jtj[r][c];
+      }
+      solved = solve<3>(a, b, x);
+      for (int r = 0; r < 3; ++r) step[r] = x[r];
+    }
+    if (!solved) return std::nullopt;
+
+    g.center -= Vec2{step[0], step[1]};
+    g.theta0 -= step[2];
+    if (biangular) {
+      g.alpha -= step[3];
+      g.beta = 2.0 * kTwoPi / numRays - g.alpha;
+      if (g.alpha <= 0.0 || g.beta <= 0.0) return std::nullopt;
+    }
+
+    const double stepNorm = std::sqrt(step[0] * step[0] + step[1] * step[1] +
+                                      step[2] * step[2] + step[3] * step[3]);
+    if (stepNorm < 1e-14) break;
+  }
+
+  g.theta0 = norm2pi(g.theta0);
+  double maxRes = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    maxRes = std::max(maxRes, std::fabs(gridResidual(g, pts[i], rayIndex[i])));
+  }
+  return GridFit{g, maxRes};
+}
+
+}  // namespace apf::geom

@@ -1,0 +1,111 @@
+#include "io/animation.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+namespace apf::io {
+
+using geom::Vec2;
+
+void writeAnimation(const std::string& path, const sim::Trace& trace,
+                    const config::Configuration& pattern,
+                    const AnimationOptions& opts) {
+  const auto& initial = trace.initial();
+  const auto& steps = trace.steps();
+  const std::size_t n = initial.size();
+
+  // Per-robot timelines: (event, position), starting at event 0.
+  struct Key {
+    std::uint64_t event;
+    Vec2 pos;
+  };
+  std::vector<std::vector<Key>> timeline(n);
+  for (std::size_t i = 0; i < n; ++i) timeline[i].push_back({0, initial[i]});
+  std::uint64_t lastEvent = 1;
+  for (const auto& s : steps) {
+    if (s.robot < n) timeline[s.robot].push_back({s.event, s.position});
+    lastEvent = std::max(lastEvent, s.event);
+  }
+
+  // Bounding box over everything.
+  double minX = std::numeric_limits<double>::infinity(), minY = minX;
+  double maxX = -minX, maxY = -minX;
+  auto grow = [&](Vec2 p) {
+    minX = std::min(minX, p.x - 4 * opts.markerRadius);
+    minY = std::min(minY, p.y - 4 * opts.markerRadius);
+    maxX = std::max(maxX, p.x + 4 * opts.markerRadius);
+    maxY = std::max(maxY, p.y + 4 * opts.markerRadius);
+  };
+  for (const auto& tl : timeline) {
+    for (const auto& k : tl) grow(k.pos);
+  }
+  for (const auto& p : pattern.points()) grow(p);
+  if (minX > maxX) {
+    minX = minY = -1;
+    maxX = maxY = 1;
+  }
+  const double w = maxX - minX, h = maxY - minY;
+  const double scale = opts.widthPx / w;
+  const int heightPx = static_cast<int>(h * scale);
+  auto X = [&](double x) { return (x - minX) * scale; };
+  auto Y = [&](double y) { return (maxY - y) * scale; };
+
+  std::ofstream os(path);
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opts.widthPx
+     << "\" height=\"" << heightPx << "\" viewBox=\"0 0 " << opts.widthPx
+     << ' ' << heightPx << "\">\n"
+     << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Target markers.
+  for (const auto& p : pattern.points()) {
+    os << "<circle cx=\"" << X(p.x) << "\" cy=\"" << Y(p.y) << "\" r=\""
+       << opts.markerRadius * scale
+       << "\" fill=\"none\" stroke=\"#bbb\" stroke-width=\"1.5\"/>\n";
+  }
+
+  // Trails (static, faint).
+  for (const auto& tl : timeline) {
+    os << "<polyline fill=\"none\" stroke=\"#e5e5e5\" stroke-width=\"1\" "
+          "points=\"";
+    for (const auto& k : tl) os << X(k.pos.x) << ',' << Y(k.pos.y) << ' ';
+    os << "\"/>\n";
+  }
+
+  // Animated robots: one <circle> per robot with cx/cy keyframe animations
+  // timed by scheduler event (uniform event -> time mapping).
+  const char* palette[] = {"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+                           "#ff7f0e", "#8c564b", "#e377c2", "#17becf"};
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& tl = timeline[i];
+    os << "<circle r=\"" << opts.markerRadius * scale << "\" fill=\""
+       << palette[i % 8] << "\" cx=\"" << X(tl.front().pos.x) << "\" cy=\""
+       << Y(tl.front().pos.y) << "\">\n";
+    auto emit = [&](const char* attr, auto proj) {
+      os << "  <animate attributeName=\"" << attr << "\" dur=\""
+         << opts.durationSec << "s\" "
+         << (opts.loop ? "repeatCount=\"indefinite\" " : "fill=\"freeze\" ")
+         << "calcMode=\"linear\" keyTimes=\"";
+      for (std::size_t k = 0; k < tl.size(); ++k) {
+        if (k) os << ';';
+        os << static_cast<double>(tl[k].event) /
+                  static_cast<double>(lastEvent);
+      }
+      // SMIL requires the last keyTime to be 1.
+      if (tl.back().event != lastEvent) os << ";1";
+      os << "\" values=\"";
+      for (std::size_t k = 0; k < tl.size(); ++k) {
+        if (k) os << ';';
+        os << proj(tl[k].pos);
+      }
+      if (tl.back().event != lastEvent) os << ';' << proj(tl.back().pos);
+      os << "\"/>\n";
+    };
+    emit("cx", [&](Vec2 p) { return X(p.x); });
+    emit("cy", [&](Vec2 p) { return Y(p.y); });
+    os << "</circle>\n";
+  }
+  os << "</svg>\n";
+}
+
+}  // namespace apf::io

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file animation.h
+/// Self-contained animated SVG (SMIL) rendering of an execution trace:
+/// each robot is a circle whose position animates through its recorded
+/// waypoints; the target pattern is drawn as hollow markers. Opens in any
+/// browser, no JavaScript.
+
+#include <string>
+#include <vector>
+
+#include "config/configuration.h"
+#include "sim/trace.h"
+
+namespace apf::io {
+
+struct AnimationOptions {
+  /// Total animation duration in seconds.
+  double durationSec = 8.0;
+  /// Rendered width in pixels.
+  int widthPx = 640;
+  /// Marker radius in world units.
+  double markerRadius = 0.06;
+  /// Loop forever.
+  bool loop = true;
+};
+
+/// Writes an animated SVG of the trace: robots move through their recorded
+/// positions on a common timeline proportional to the scheduler events;
+/// `pattern` (optional, may be empty) is drawn as hollow target markers.
+void writeAnimation(const std::string& path, const sim::Trace& trace,
+                    const config::Configuration& pattern,
+                    const AnimationOptions& opts = {});
+
+}  // namespace apf::io

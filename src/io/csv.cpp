@@ -1,0 +1,32 @@
+#include "io/csv.h"
+
+#include <iomanip>
+
+namespace apf::io {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header) {
+  if (!path.empty()) file_.open(path);
+  emit(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) { emit(cells); }
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ',';
+    line += cells[i];
+  }
+  line += '\n';
+  buffer_ << line;
+  if (file_.is_open()) file_ << line << std::flush;
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace apf::io

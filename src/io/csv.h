@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file csv.h
+/// Minimal CSV writer used by the benchmark harness to dump experiment
+/// rows (the same rows are also printed as aligned tables on stdout).
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace apf::io {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Pass an empty path
+  /// to collect rows in memory only (str()).
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; each cell is already formatted.
+  void row(const std::vector<std::string>& cells);
+
+  /// All emitted content.
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+  std::ofstream file_;
+  std::ostringstream buffer_;
+};
+
+/// Formats a double with fixed precision for CSV cells.
+std::string fmt(double v, int precision = 3);
+
+}  // namespace apf::io

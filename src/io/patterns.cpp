@@ -1,0 +1,102 @@
+#include "io/patterns.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "config/generator.h"
+#include "geom/angle.h"
+
+namespace apf::io {
+
+using config::Configuration;
+using geom::kTwoPi;
+using geom::Vec2;
+
+Configuration polygonPattern(std::size_t n) {
+  return config::regularPolygon(n, 1.0);
+}
+
+Configuration starPattern(std::size_t n) {
+  Configuration out;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double a = kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+    const double r = (k % 2 == 0) ? 1.0 : 0.45;
+    out.push_back(Vec2{std::cos(a), std::sin(a)} * r);
+  }
+  return out;
+}
+
+Configuration gridPattern(std::size_t n) {
+  const std::size_t side =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  Configuration out;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t gx = k % side, gy = k / side;
+    // Slight shear keeps the grid free of accidental symmetries.
+    out.push_back(Vec2{static_cast<double>(gx) + 0.03 * gy,
+                       static_cast<double>(gy)});
+  }
+  return out;
+}
+
+Configuration spiralPattern(std::size_t n) {
+  Configuration out;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = 0.7 + 2.5 * static_cast<double>(k) / n;
+    const double a = 2.3 * t;
+    out.push_back(Vec2{std::cos(a), std::sin(a)} * t);
+  }
+  return out;
+}
+
+Configuration ringCorePattern(std::size_t n) {
+  const std::size_t ring = (n * 2) / 3;
+  Configuration out;
+  for (std::size_t k = 0; k < ring; ++k) {
+    const double a = kTwoPi * static_cast<double>(k) / ring + 0.1;
+    out.push_back(Vec2{std::cos(a), std::sin(a)});
+  }
+  for (std::size_t k = ring; k < n; ++k) {
+    const double a = 2.39996 * static_cast<double>(k);  // golden angle
+    const double r = 0.12 + 0.02 * static_cast<double>(k - ring);
+    out.push_back(Vec2{std::cos(a), std::sin(a)} * r);
+  }
+  return out;
+}
+
+Configuration randomPatternByName(std::size_t n, std::uint64_t seed) {
+  config::Rng rng(seed);
+  return config::randomPattern(n, rng);
+}
+
+Configuration multiplicityPattern(std::size_t n) {
+  Configuration out = config::regularPolygon(n - 2, 1.0);
+  const Vec2 inner{0.31, 0.17};
+  out.push_back(inner);
+  out.push_back(inner);
+  return out;
+}
+
+Configuration centerMultiplicityPattern(std::size_t n) {
+  Configuration out = config::regularPolygon(n - 2, 1.0);
+  out.push_back(Vec2{});
+  out.push_back(Vec2{});
+  return out;
+}
+
+Configuration patternByName(const std::string& name, std::size_t n,
+                            std::uint64_t seed) {
+  if (name == "polygon") return polygonPattern(n);
+  if (name == "star") return starPattern(n);
+  if (name == "grid") return gridPattern(n);
+  if (name == "spiral") return spiralPattern(n);
+  if (name == "ringcore") return ringCorePattern(n);
+  if (name == "random") return randomPatternByName(n, seed);
+  throw std::invalid_argument("unknown pattern: " + name);
+}
+
+std::vector<std::string> allPatternNames() {
+  return {"polygon", "star", "grid", "spiral", "ringcore", "random"};
+}
+
+}  // namespace apf::io

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file patterns.h
+/// Named target-pattern library for examples, tests, and benchmarks. Every
+/// generator returns exactly n points; patterns marked "multiplicity" may
+/// repeat points and require multiplicity detection to be formable.
+
+#include <string>
+#include <vector>
+
+#include "config/configuration.h"
+
+namespace apf::io {
+
+/// A regular n-gon (symmetricity n — the hardest symmetry class).
+config::Configuration polygonPattern(std::size_t n);
+
+/// A k-pointed star: alternating outer/inner vertices (n rounded to even).
+config::Configuration starPattern(std::size_t n);
+
+/// Roughly square grid of n points.
+config::Configuration gridPattern(std::size_t n);
+
+/// Archimedean spiral sample of n points (asymmetric, distinct radii).
+config::Configuration spiralPattern(std::size_t n);
+
+/// Outer ring plus a dense core cluster.
+config::Configuration ringCorePattern(std::size_t n);
+
+/// Seeded random pattern (general position).
+config::Configuration randomPatternByName(std::size_t n, std::uint64_t seed);
+
+/// Pattern with a multiplicity point away from the center: an (n-2)-gon
+/// plus a doubled interior point.
+config::Configuration multiplicityPattern(std::size_t n);
+
+/// Pattern whose CENTER is a multiplicity point (appendix C's hard case):
+/// an (n-2)-gon plus two robots at the center.
+config::Configuration centerMultiplicityPattern(std::size_t n);
+
+/// Lookup by name: "polygon", "star", "grid", "spiral", "ringcore",
+/// "random". Throws std::invalid_argument for unknown names.
+config::Configuration patternByName(const std::string& name, std::size_t n,
+                                    std::uint64_t seed = 7);
+
+/// All non-multiplicity pattern names (for sweeps).
+std::vector<std::string> allPatternNames();
+
+}  // namespace apf::io

@@ -1,0 +1,62 @@
+#include "io/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace apf::io {
+
+void writeConfiguration(std::ostream& os, const config::Configuration& c) {
+  os << std::setprecision(17);
+  for (const auto& p : c.points()) {
+    os << p.x << ' ' << p.y << '\n';
+  }
+}
+
+void saveConfiguration(const std::string& path,
+                       const config::Configuration& c) {
+  std::ofstream os(path);
+  if (!os) throw std::invalid_argument("cannot open for write: " + path);
+  writeConfiguration(os, c);
+}
+
+config::Configuration readConfiguration(std::istream& is) {
+  config::Configuration out;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    double x, y;
+    if (ls >> x) {
+      if (!(ls >> y)) {
+        throw std::invalid_argument("line " + std::to_string(lineNo) +
+                                    ": expected 'x y'");
+      }
+      std::string extra;
+      if (ls >> extra) {
+        throw std::invalid_argument("line " + std::to_string(lineNo) +
+                                    ": trailing content '" + extra + "'");
+      }
+      out.push_back({x, y});
+    }
+    // blank / comment-only lines are skipped
+  }
+  return out;
+}
+
+config::Configuration loadConfiguration(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::invalid_argument("cannot open: " + path);
+  return readConfiguration(is);
+}
+
+config::Configuration parseConfiguration(const std::string& text) {
+  std::istringstream is(text);
+  return readConfiguration(is);
+}
+
+}  // namespace apf::io

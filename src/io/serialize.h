@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file serialize.h
+/// Plain-text (de)serialization of configurations: one "x y" pair per line,
+/// '#' comments allowed. Round-trips at full double precision. Used by the
+/// CLI tool to load custom starts/patterns and by tests for golden files.
+
+#include <iosfwd>
+#include <string>
+
+#include "config/configuration.h"
+
+namespace apf::io {
+
+/// Writes one point per line at full precision.
+void writeConfiguration(std::ostream& os, const config::Configuration& c);
+void saveConfiguration(const std::string& path,
+                       const config::Configuration& c);
+
+/// Parses points; throws std::invalid_argument on malformed input.
+config::Configuration readConfiguration(std::istream& is);
+config::Configuration loadConfiguration(const std::string& path);
+
+/// Parses from a string (convenience for tests).
+config::Configuration parseConfiguration(const std::string& text);
+
+}  // namespace apf::io

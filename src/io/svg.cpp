@@ -1,0 +1,94 @@
+#include "io/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+namespace apf::io {
+
+using geom::Vec2;
+
+void SvgScene::addTrail(std::vector<Vec2> pts, std::string stroke) {
+  trails_.push_back({std::move(pts), std::move(stroke)});
+}
+
+void SvgScene::addRays(Vec2 center, const std::vector<double>& dirs,
+                       double length, std::string stroke) {
+  rays_.push_back({center, dirs, length, std::move(stroke)});
+}
+
+void SvgScene::addCircle(Vec2 center, double radius, std::string stroke) {
+  rings_.push_back({center, radius, std::move(stroke)});
+}
+
+void SvgScene::write(const std::string& path, int widthPx) const {
+  double minX = std::numeric_limits<double>::infinity(), minY = minX;
+  double maxX = -minX, maxY = -minX;
+  auto grow = [&](Vec2 p, double pad) {
+    minX = std::min(minX, p.x - pad);
+    minY = std::min(minY, p.y - pad);
+    maxX = std::max(maxX, p.x + pad);
+    maxY = std::max(maxY, p.y + pad);
+  };
+  for (const auto& l : layers_) {
+    for (const Vec2& p : l.points.points()) grow(p, l.radius * 4);
+  }
+  for (const auto& t : trails_) {
+    for (const Vec2& p : t.pts) grow(p, 0.05);
+  }
+  for (const auto& r : rings_) {
+    grow(r.center + Vec2{r.radius, r.radius}, 0.05);
+    grow(r.center - Vec2{r.radius, r.radius}, 0.05);
+  }
+  if (minX > maxX) {
+    minX = minY = -1;
+    maxX = maxY = 1;
+  }
+  const double w = maxX - minX, h = maxY - minY;
+  const double scale = widthPx / w;
+  const int heightPx = static_cast<int>(h * scale);
+  auto X = [&](double x) { return (x - minX) * scale; };
+  // SVG's y axis points down; flip.
+  auto Y = [&](double y) { return (maxY - y) * scale; };
+
+  std::ofstream os(path);
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << widthPx
+     << "\" height=\"" << heightPx << "\" viewBox=\"0 0 " << widthPx << ' '
+     << heightPx << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const auto& r : rings_) {
+    os << "<circle cx=\"" << X(r.center.x) << "\" cy=\"" << Y(r.center.y)
+       << "\" r=\"" << r.radius * scale << "\" fill=\"none\" stroke=\""
+       << r.stroke << "\"/>\n";
+  }
+  for (const auto& ray : rays_) {
+    for (double d : ray.dirs) {
+      const Vec2 end = ray.center + Vec2{std::cos(d), std::sin(d)} * ray.length;
+      os << "<line x1=\"" << X(ray.center.x) << "\" y1=\"" << Y(ray.center.y)
+         << "\" x2=\"" << X(end.x) << "\" y2=\"" << Y(end.y) << "\" stroke=\""
+         << ray.stroke << "\" stroke-dasharray=\"4 3\"/>\n";
+    }
+  }
+  for (const auto& t : trails_) {
+    os << "<polyline fill=\"none\" stroke=\"" << t.stroke
+       << "\" stroke-width=\"1\" points=\"";
+    for (const Vec2& p : t.pts) os << X(p.x) << ',' << Y(p.y) << ' ';
+    os << "\"/>\n";
+  }
+  for (const auto& l : layers_) {
+    for (const Vec2& p : l.points.points()) {
+      os << "<circle cx=\"" << X(p.x) << "\" cy=\"" << Y(p.y) << "\" r=\""
+         << l.radius * scale << "\" ";
+      if (l.hollow) {
+        os << "fill=\"none\" stroke=\"" << l.fill << "\" stroke-width=\"1.5\"";
+      } else {
+        os << "fill=\"" << l.fill << "\"";
+      }
+      os << "/>\n";
+    }
+  }
+  os << "</svg>\n";
+}
+
+}  // namespace apf::io

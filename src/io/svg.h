@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file svg.h
+/// SVG rendering of configurations and execution traces: used by the
+/// examples to regenerate the paper's figure-style diagrams and to
+/// visualize runs.
+
+#include <string>
+#include <vector>
+
+#include "config/configuration.h"
+
+namespace apf::io {
+
+/// One rendered layer: points with a style.
+struct SvgLayer {
+  config::Configuration points;
+  std::string fill = "#1f77b4";
+  double radius = 0.02;           ///< marker radius in world units
+  bool hollow = false;            ///< render as outlined circles (pattern)
+};
+
+class SvgScene {
+ public:
+  /// World-coordinate bounding box is computed from the layers.
+  void addLayer(SvgLayer layer) { layers_.push_back(std::move(layer)); }
+  /// Polyline trail (e.g., a robot's trajectory).
+  void addTrail(std::vector<geom::Vec2> pts, std::string stroke = "#999");
+  /// Rays from a center (for regular-set diagrams).
+  void addRays(geom::Vec2 center, const std::vector<double>& dirs,
+               double length, std::string stroke = "#ccc");
+  void addCircle(geom::Vec2 center, double radius,
+                 std::string stroke = "#ddd");
+
+  /// Writes the scene to `path` (width px, height derived from aspect).
+  void write(const std::string& path, int widthPx = 640) const;
+
+ private:
+  struct Trail {
+    std::vector<geom::Vec2> pts;
+    std::string stroke;
+  };
+  struct Ray {
+    geom::Vec2 center;
+    std::vector<double> dirs;
+    double length;
+    std::string stroke;
+  };
+  struct Ring {
+    geom::Vec2 center;
+    double radius;
+    std::string stroke;
+  };
+  std::vector<SvgLayer> layers_;
+  std::vector<Trail> trails_;
+  std::vector<Ray> rays_;
+  std::vector<Ring> rings_;
+};
+
+}  // namespace apf::io

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file rng.h
+/// Random source with bit accounting.
+///
+/// The paper's headline randomness claim is "a single random bit per robot
+/// per Look-Compute-Move cycle"; the Yamauchi-Yamashita baseline instead
+/// draws points uniformly from continuous segments (infinitely many bits in
+/// the model, 53 mantissa bits per draw at double resolution). To compare
+/// the two, every random draw flows through a RandomSource that counts the
+/// bits it hands out.
+
+#include <cstdint>
+#include <random>
+
+namespace apf::sched {
+
+/// Counting random source. One instance per simulation; algorithms receive
+/// it at Compute time.
+class RandomSource {
+ public:
+  explicit RandomSource(std::uint64_t seed) : rng_(seed) {}
+
+  /// One fair random bit (counts 1 bit).
+  bool bit() {
+    bits_ += 1;
+    return (rng_() & 1u) != 0;
+  }
+
+  /// Uniform double in [0, 1) (counts 53 bits — the resolution of the
+  /// continuous draw at double precision).
+  double uniform() {
+    bits_ += 53;
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+  }
+
+  /// Total bits consumed so far.
+  std::uint64_t bitsConsumed() const { return bits_; }
+
+  /// Raw engine access for NON-ALGORITHM uses (scheduler/adversary choices);
+  /// does not count toward algorithm randomness.
+  std::mt19937_64& adversaryEngine() { return rng_; }
+
+ private:
+  std::mt19937_64 rng_;
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace apf::sched

@@ -1,0 +1,19 @@
+#include "sched/scheduler.h"
+
+namespace apf::sched {
+
+const char* schedulerName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::FSync:
+      return "FSYNC";
+    case SchedulerKind::SSync:
+      return "SSYNC";
+    case SchedulerKind::Async:
+      return "ASYNC";
+    case SchedulerKind::Scripted:
+      return "SCRIPTED";
+  }
+  return "?";
+}
+
+}  // namespace apf::sched

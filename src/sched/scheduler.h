@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file scheduler.h
+/// Scheduling disciplines and adversary parameters (paper §1-2).
+///
+/// FSYNC: all robots execute Look, Compute, Move in lock-step rounds.
+/// SSYNC: each round an arbitrary nonempty subset executes one atomic cycle.
+/// ASYNC: Look, Compute, and partial Moves of different robots interleave
+/// arbitrarily; snapshots go stale, moving robots are observed mid-path, and
+/// robots pause for arbitrarily long (bounded only by fairness).
+///
+/// The adversary also controls movement: it may stop a moving robot anywhere
+/// along its computed path after the robot has traveled at least delta
+/// (non-rigid movement; delta unknown to the robots).
+
+#include <cstdint>
+
+namespace apf::sched {
+
+enum class SchedulerKind {
+  FSync,
+  SSync,
+  Async,
+  /// Deterministic, user-authored event list (see EngineOptions::script):
+  /// the strongest adversary of all — tests use it to construct exact
+  /// stale-snapshot races and worst-case stop patterns.
+  Scripted,
+};
+
+/// One scripted adversary decision.
+struct ScriptedEvent {
+  enum class Op {
+    Look,     ///< robot captures its snapshot
+    Compute,  ///< robot computes on its stored snapshot
+    Move,     ///< robot advances along its path by `distance` (clamped to
+              ///< [delta, remaining]; 0 means "to the destination")
+  };
+  std::size_t robot = 0;
+  Op op = Op::Look;
+  double distance = 0.0;
+};
+
+struct SchedulerOptions {
+  SchedulerKind kind = SchedulerKind::Async;
+  /// Minimum distance a robot travels before the adversary may stop it.
+  double delta = 0.05;
+  /// Fairness: every robot makes progress at least once in any window of
+  /// this many scheduler events.
+  int fairnessBound = 200;
+  /// ASYNC: probability that the adversary stops a moving robot as early as
+  /// it legally can (aggressive stop-at-delta) instead of letting it run.
+  double earlyStopProb = 0.5;
+  /// SSYNC: probability that each robot is included in a round's subset.
+  double activationProb = 0.5;
+};
+
+const char* schedulerName(SchedulerKind kind);
+
+}  // namespace apf::sched

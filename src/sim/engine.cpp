@@ -1,0 +1,300 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "config/similarity.h"
+#include "geom/angle.h"
+
+namespace apf::sim {
+
+using config::Configuration;
+using geom::Path;
+using geom::Similarity;
+using geom::Vec2;
+
+Engine::Engine(Configuration start, Configuration pattern,
+               const Algorithm& algo, EngineOptions opts)
+    : current_(std::move(start)),
+      pattern_(std::move(pattern)),
+      algo_(algo),
+      opts_(opts),
+      rng_(opts.seed) {
+  robots_.resize(current_.size());
+  auto& adv = rng_.adversaryEngine();
+  std::uniform_real_distribution<double> uang(0.0, geom::kTwoPi);
+  std::uniform_real_distribution<double> uscale(-0.6, 0.6);
+  for (Robot& r : robots_) {
+    double angle = 0.0, scale = 1.0;
+    bool reflect = false;
+    if (opts_.randomizeFrames) {
+      angle = uang(adv);
+      scale = std::exp(uscale(adv));
+      if (!opts_.commonChirality) reflect = (adv() & 1u) != 0;
+    }
+    r.frame = Similarity(angle, scale, reflect, {});
+    r.frameInv = r.frame.inverse();
+  }
+}
+
+Snapshot Engine::takeSnapshot(std::size_t i) const {
+  const Robot& r = robots_[i];
+  const Vec2 self = current_[i];
+  std::vector<Vec2> local;
+  local.reserve(current_.size());
+  for (const Vec2& p : current_.points()) local.push_back(r.frame.apply(p - self));
+  Snapshot snap;
+  snap.robots = Configuration(std::move(local));
+  snap.selfIndex = i;
+  // The pattern is handed to every robot as the same raw coordinate list;
+  // a robot with a reflected frame thereby "intends" the mirror image in
+  // global terms, which the similarity-with-symmetry success criterion
+  // absorbs.
+  snap.pattern = pattern_;
+  snap.multiplicityDetection = opts_.multiplicityDetection;
+  return snap;
+}
+
+Action Engine::computeFor(std::size_t i, sched::RandomSource& rng) {
+  Robot& r = robots_[i];
+  Action local = algo_.compute(r.snap, rng);
+  if (!local.isMove()) return local;
+  // Map the local-frame path back to the global frame: the local path starts
+  // at the robot's position (local origin).
+  Action global = local;
+  Similarity toGlobal =
+      Similarity::translation(current_[i]) * r.frameInv;
+  global.path = local.path.transformed(toGlobal);
+  return global;
+}
+
+void Engine::look(std::size_t i) {
+  robots_[i].snap = takeSnapshot(i);
+  robots_[i].snapVersion = configVersion_;
+  robots_[i].phase = Phase::Observed;
+}
+
+bool Engine::compute(std::size_t i) {
+  Robot& r = robots_[i];
+  const std::uint64_t bitsBefore = rng_.bitsConsumed();
+  Action act = computeFor(i, rng_);
+  const std::uint64_t bitsUsed = rng_.bitsConsumed() - bitsBefore;
+  metrics_.randomBits += bitsUsed;
+  metrics_.phaseActivations[act.phaseTag] += 1;
+  r.phaseTag = act.phaseTag;
+  if (!act.isMove()) {
+    // An empty, randomness-free decision counts toward quiescence, credited
+    // to the configuration version the decision was actually based on (the
+    // snapshot may be stale by compute time).
+    r.quietVersion = (bitsUsed == 0) ? r.snapVersion : 0;
+    completeCycle(i);
+    return false;
+  }
+  r.quietVersion = 0;
+  r.path = std::move(act.path);
+  r.progress = 0.0;
+  r.phase = Phase::Ready;
+  return true;
+}
+
+bool Engine::moveStep(std::size_t i, bool full) {
+  Robot& r = robots_[i];
+  r.phase = Phase::Moving;
+  const double remaining = r.path.length() - r.progress;
+  double d = remaining;
+  if (!full && remaining > opts_.sched.delta) {
+    auto& adv = rng_.adversaryEngine();
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    if (u(adv) < opts_.sched.earlyStopProb) {
+      d = opts_.sched.delta;
+    } else {
+      d = opts_.sched.delta + u(adv) * (remaining - opts_.sched.delta);
+    }
+  }
+  r.progress += d;
+  current_[i] = r.path.pointAt(r.progress);
+  metrics_.distance += d;
+  if (d > 0.0) {
+    ++configVersion_;
+    if (observer_) observer_(*this, i);
+  }
+  if (r.progress >= r.path.length() - 1e-15) {
+    completeCycle(i);
+    return true;
+  }
+  return false;
+}
+
+void Engine::completeCycle(std::size_t i) {
+  robots_[i].phase = Phase::Idle;
+  metrics_.cycles += 1;
+}
+
+void Engine::fsyncRound() {
+  // Lock-step: everyone Looks at the same configuration, then everyone
+  // Computes, then all moves are executed fully and simultaneously.
+  for (std::size_t i = 0; i < robots_.size(); ++i) look(i);
+  std::vector<std::size_t> movers;
+  for (std::size_t i = 0; i < robots_.size(); ++i) {
+    if (compute(i)) movers.push_back(i);
+  }
+  for (std::size_t i : movers) moveStep(i, /*full=*/true);
+  metrics_.events += robots_.size();
+}
+
+void Engine::ssyncRound() {
+  auto& adv = rng_.adversaryEngine();
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < robots_.size(); ++i) {
+    if (u(adv) < opts_.sched.activationProb ||
+        robots_[i].sinceProgress > opts_.sched.fairnessBound) {
+      active.push_back(i);
+    }
+  }
+  if (active.empty()) {
+    active.push_back(adv() % robots_.size());
+  }
+  for (std::size_t i : active) look(i);
+  std::vector<std::size_t> movers;
+  for (std::size_t i : active) {
+    if (compute(i)) movers.push_back(i);
+  }
+  // SSYNC cycles are atomic but movement is still non-rigid: the adversary
+  // may stop each mover after delta.
+  for (std::size_t i : movers) moveStep(i, /*full=*/false);
+  // Any mover stopped short completes its cycle anyway: in SSYNC the cycle
+  // is atomic, the robot simply did not reach its destination.
+  for (std::size_t i : movers) {
+    if (robots_[i].phase == Phase::Moving) completeCycle(i);
+  }
+  for (std::size_t i = 0; i < robots_.size(); ++i) {
+    robots_[i].sinceProgress =
+        std::find(active.begin(), active.end(), i) != active.end()
+            ? 0
+            : robots_[i].sinceProgress + 1;
+  }
+  metrics_.events += active.size();
+}
+
+std::size_t Engine::pickRobot(const std::vector<std::size_t>& eligible) {
+  // Fairness first: any starving robot is forced.
+  for (std::size_t i : eligible) {
+    if (robots_[i].sinceProgress > opts_.sched.fairnessBound) return i;
+  }
+  auto& adv = rng_.adversaryEngine();
+  return eligible[adv() % eligible.size()];
+}
+
+void Engine::asyncEvent() {
+  std::vector<std::size_t> eligible(robots_.size());
+  for (std::size_t i = 0; i < eligible.size(); ++i) eligible[i] = i;
+  const std::size_t i = pickRobot(eligible);
+  Robot& r = robots_[i];
+  switch (r.phase) {
+    case Phase::Idle:
+      look(i);
+      break;
+    case Phase::Observed:
+      compute(i);
+      break;
+    case Phase::Ready:
+    case Phase::Moving:
+      moveStep(i, /*full=*/false);
+      break;
+  }
+  for (std::size_t j = 0; j < robots_.size(); ++j) {
+    robots_[j].sinceProgress = (j == i) ? 0 : robots_[j].sinceProgress + 1;
+  }
+  metrics_.events += 1;
+}
+
+void Engine::scriptedEvent() {
+  if (scriptPos_ >= opts_.script.size()) {
+    // Script exhausted: continue under the ASYNC adversary.
+    asyncEvent();
+    return;
+  }
+  const sched::ScriptedEvent ev = opts_.script[scriptPos_++];
+  metrics_.events += 1;
+  if (ev.robot >= robots_.size()) return;
+  Robot& r = robots_[ev.robot];
+  switch (ev.op) {
+    case sched::ScriptedEvent::Op::Look:
+      if (r.phase == Phase::Idle) look(ev.robot);
+      break;
+    case sched::ScriptedEvent::Op::Compute:
+      if (r.phase == Phase::Observed) compute(ev.robot);
+      break;
+    case sched::ScriptedEvent::Op::Move: {
+      if (r.phase != Phase::Ready && r.phase != Phase::Moving) break;
+      if (ev.distance <= 0.0) {
+        moveStep(ev.robot, /*full=*/true);
+        break;
+      }
+      // Explicit distance, clamped to the model's [delta, remaining].
+      r.phase = Phase::Moving;
+      const double remaining = r.path.length() - r.progress;
+      const double d =
+          std::min(remaining, std::max(ev.distance, opts_.sched.delta));
+      r.progress += d;
+      current_[ev.robot] = r.path.pointAt(r.progress);
+      metrics_.distance += d;
+      if (d > 0.0) {
+        ++configVersion_;
+        if (observer_) observer_(*this, ev.robot);
+      }
+      if (r.progress >= r.path.length() - 1e-15) completeCycle(ev.robot);
+      break;
+    }
+  }
+}
+
+bool Engine::isTerminal() const {
+  for (const Robot& r : robots_) {
+    if (r.phase == Phase::Ready || r.phase == Phase::Moving) return false;
+    if (r.quietVersion != configVersion_) return false;
+  }
+  return true;
+}
+
+bool Engine::success() const {
+  // Matching tolerance mirrors the algorithms' own stopping thresholds
+  // (robots stop within 1e-7 of their targets); matching is performed on
+  // SEC-normalized coordinates, so this is scale-free.
+  return config::similar(current_, pattern_, geom::Tol{1e-6, 1e-6});
+}
+
+bool Engine::step() {
+  if (isTerminal()) return false;
+  switch (opts_.sched.kind) {
+    case sched::SchedulerKind::FSync:
+      fsyncRound();
+      break;
+    case sched::SchedulerKind::SSync:
+      ssyncRound();
+      break;
+    case sched::SchedulerKind::Async:
+      asyncEvent();
+      break;
+    case sched::SchedulerKind::Scripted:
+      scriptedEvent();
+      break;
+  }
+  return true;
+}
+
+RunResult Engine::run() {
+  RunResult res;
+  while (metrics_.events < opts_.maxEvents) {
+    if (!step()) {
+      res.terminated = true;
+      break;
+    }
+  }
+  res.success = success();
+  res.metrics = metrics_;
+  return res;
+}
+
+}  // namespace apf::sim

@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file engine.h
+/// The Look-Compute-Move execution engine with adversarial scheduling.
+///
+/// Model fidelity notes (paper §2):
+///  * Each robot has a private coordinate frame: an unknown rotation, an
+///    unknown unit of length, and — unless the run opts into common
+///    chirality — possibly a reflection. Robots receive the pattern as raw
+///    coordinates, so two robots with opposite handedness "imagine" mirror
+///    images of it; the success criterion (similarity with symmetry) makes
+///    that immaterial, which is exactly the paper's point.
+///  * ASYNC: Look, Compute, and partial Move steps of different robots
+///    interleave arbitrarily. A robot Computes on the snapshot captured at
+///    its earlier Look (stale by then), and moving robots appear in other
+///    robots' snapshots exactly like static ones.
+///  * Non-rigid movement: the adversary may stop a moving robot anywhere
+///    after it has traveled delta along its computed path. Paths are stored
+///    as exact segment/arc geometry, so a robot stopped mid-arc is still
+///    exactly on its circle.
+///  * Fairness: every robot is activated within any window of
+///    `fairnessBound` scheduler events.
+
+#include <functional>
+#include <vector>
+
+#include "config/configuration.h"
+#include "sched/rng.h"
+#include "sched/scheduler.h"
+#include "sim/algorithm.h"
+#include "sim/metrics.h"
+
+namespace apf::sim {
+
+struct EngineOptions {
+  sched::SchedulerOptions sched;
+  std::uint64_t seed = 1;
+  bool multiplicityDetection = false;
+  /// When true all robot frames share a handedness (used by baselines that
+  /// assume chirality); when false each frame is reflected with prob. 1/2.
+  bool commonChirality = false;
+  /// Randomize per-robot rotation and scale (always on for honest runs;
+  /// can be disabled in unit tests to make local == global).
+  bool randomizeFrames = true;
+  /// Hard cap on scheduler events before giving up.
+  std::uint64_t maxEvents = 2'000'000;
+  /// For SchedulerKind::Scripted: the exact event sequence to execute.
+  /// Invalid events (e.g. Move for a robot with no path) are skipped; when
+  /// the script is exhausted the run continues under the ASYNC adversary.
+  std::vector<sched::ScriptedEvent> script;
+};
+
+/// Drives one execution of an algorithm from a start configuration toward a
+/// pattern. Deterministic given (inputs, seed).
+class Engine {
+ public:
+  Engine(config::Configuration start, config::Configuration pattern,
+         const Algorithm& algo, EngineOptions opts);
+
+  /// Runs to termination or the event cap; returns the outcome.
+  RunResult run();
+
+  /// Advances one scheduler round/event. Returns false when terminal.
+  bool step();
+
+  /// Current global positions.
+  const config::Configuration& positions() const { return current_; }
+  /// Phase tag of robot i's most recent Compute (0 before the first).
+  int lastPhaseTag(std::size_t i) const { return robots_[i].phaseTag; }
+  const config::Configuration& pattern() const { return pattern_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  /// True when no robot is moving (or committed to move) and every robot's
+  /// most recent completed Compute — on the current configuration — chose
+  /// to stay without consuming randomness. Tracked organically: the engine
+  /// never probes the algorithm out-of-band.
+  bool isTerminal() const;
+
+  /// True when the current configuration is similar to the pattern.
+  bool success() const;
+
+  /// Called after every event that changes positions (for traces/SVG).
+  using Observer = std::function<void(const Engine&, std::size_t robot)>;
+  void setObserver(Observer obs) { observer_ = std::move(obs); }
+
+ private:
+  enum class Phase { Idle, Observed, Ready, Moving };
+
+  struct Robot {
+    geom::Similarity frame;  ///< linear part of local frame (global -> local)
+    geom::Similarity frameInv;
+    Phase phase = Phase::Idle;
+    Snapshot snap;        ///< captured at Look
+    geom::Path path;      ///< global-frame path being executed
+    double progress = 0;  ///< arclength already traveled
+    int sinceProgress = 0;
+    int phaseTag = 0;
+    /// Configuration version on which this robot last completed an empty,
+    /// randomness-free cycle (0 = none yet).
+    std::uint64_t quietVersion = 0;
+    /// Configuration version captured by this robot's last Look.
+    std::uint64_t snapVersion = 0;
+  };
+
+  Snapshot takeSnapshot(std::size_t i) const;
+  /// Runs the algorithm for robot i on its stored snapshot; returns the
+  /// global-frame action.
+  Action computeFor(std::size_t i, sched::RandomSource& rng);
+  void look(std::size_t i);
+  /// Returns true when the compute produced a movement.
+  bool compute(std::size_t i);
+  /// Advances robot i along its path; returns true when the path completed.
+  bool moveStep(std::size_t i, bool full);
+  void completeCycle(std::size_t i);
+
+  void fsyncRound();
+  void ssyncRound();
+  void asyncEvent();
+  void scriptedEvent();
+  std::size_t pickRobot(const std::vector<std::size_t>& eligible);
+
+  config::Configuration current_;
+  config::Configuration pattern_;
+  const Algorithm& algo_;
+  EngineOptions opts_;
+  std::vector<Robot> robots_;
+  sched::RandomSource rng_;
+  Metrics metrics_;
+  Observer observer_;
+
+  std::uint64_t configVersion_ = 1;
+  std::size_t scriptPos_ = 0;
+};
+
+}  // namespace apf::sim

@@ -1,0 +1,63 @@
+#include "sim/fuzzer.h"
+
+#include <set>
+#include <sstream>
+
+#include "config/canonical.h"
+
+namespace apf::sim {
+
+FuzzResult fuzzSchedules(const Algorithm& algo,
+                         const config::Configuration& start,
+                         const config::Configuration& pattern,
+                         const FuzzOptions& opts) {
+  FuzzResult out;
+  std::set<config::CanonicalSignature> seen;
+  seen.insert(config::canonicalSignature(start));
+  const double startSec = start.sec().radius;
+  // Multiplicity in the TARGET is intended; anything else is a collision.
+  const bool patternHasMultiplicity = pattern.hasMultiplicity();
+
+  const double aggression[] = {0.1, 0.5, 0.9};
+  for (int run = 0; run < opts.schedules; ++run) {
+    EngineOptions eopts;
+    eopts.seed = 0x5eedu + 77u * static_cast<std::uint64_t>(run);
+    eopts.maxEvents = opts.maxEventsPerRun;
+    eopts.multiplicityDetection = opts.multiplicityDetection;
+    eopts.sched.kind = sched::SchedulerKind::Async;
+    eopts.sched.delta = opts.delta;
+    eopts.sched.earlyStopProb =
+        opts.sweepAggression ? aggression[run % 3] : 0.5;
+    Engine eng(start, pattern, algo, eopts);
+
+    eng.setObserver([&](const Engine& e, std::size_t robot) {
+      seen.insert(config::canonicalSignature(e.positions()));
+      if (out.collisionFree && !patternHasMultiplicity &&
+          e.positions().hasMultiplicity(geom::Tol{1e-9, 1e-9})) {
+        out.collisionFree = false;
+        std::ostringstream os;
+        os << "collision: run " << run << ", event " << e.metrics().events
+           << ", robot " << robot;
+        if (out.firstViolation.empty()) out.firstViolation = os.str();
+      }
+      const double growth = e.positions().sec().radius / startSec;
+      out.maxSecGrowthFactor = std::max(out.maxSecGrowthFactor, growth);
+      if (out.secBounded && growth > FuzzResult::kSecGrowthBound) {
+        out.secBounded = false;
+        std::ostringstream os;
+        os << "SEC grew x" << growth << ": run " << run << ", event "
+           << e.metrics().events;
+        if (out.firstViolation.empty()) out.firstViolation = os.str();
+      }
+    });
+
+    const RunResult res = eng.run();
+    ++out.runs;
+    out.terminated += res.terminated;
+    out.successes += res.success;
+  }
+  out.distinctConfigurations = seen.size();
+  return out;
+}
+
+}  // namespace apf::sim

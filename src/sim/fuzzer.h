@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file fuzzer.h
+/// Schedule fuzzer: runs an algorithm from one start under many distinct
+/// adversarial schedules, checking SAFETY invariants at every position
+/// change (collision-freedom, enclosing-circle stability) and aggregating
+/// coverage (distinct configurations visited, via canonical signatures).
+/// This is the repository's stand-in for the paper's hand proofs of the
+/// ASYNC invariants: it cannot prove, but it hunts counterexamples
+/// systematically and is cheap enough to run inside the test suite.
+
+#include <string>
+
+#include "config/configuration.h"
+#include "sim/algorithm.h"
+#include "sim/engine.h"
+
+namespace apf::sim {
+
+struct FuzzOptions {
+  /// Number of distinct schedules (engine seeds) to explore.
+  int schedules = 40;
+  std::uint64_t maxEventsPerRun = 300000;
+  double delta = 0.05;
+  /// Adversary aggression sweep: each run alternates earlyStopProb across
+  /// {0.1, 0.5, 0.9}.
+  bool sweepAggression = true;
+  bool multiplicityDetection = false;
+  /// Expect every run to terminate successfully (pattern formed); when
+  /// false only safety is checked.
+  bool expectSuccess = true;
+};
+
+struct FuzzResult {
+  int runs = 0;
+  int terminated = 0;
+  int successes = 0;
+  /// Distinct configurations (up to similarity) seen across ALL runs.
+  std::size_t distinctConfigurations = 0;
+  /// Safety: no unintended multiplicity point was ever created.
+  bool collisionFree = true;
+  /// Safety: the enclosing circle stays bounded. It may grow slightly
+  /// during the election (outward walk steps of |r|/7 — the algorithm is
+  /// scale-free and renormalizes every Look), but never by more than the
+  /// generous factor below; psi_DPF then holds it exactly.
+  bool secBounded = true;
+  double maxSecGrowthFactor = 1.0;
+  static constexpr double kSecGrowthBound = 2.0;
+  /// First violation, human-readable (empty when clean).
+  std::string firstViolation;
+
+  bool clean() const { return collisionFree && secBounded; }
+};
+
+/// Runs the fuzz campaign. Deterministic given the inputs.
+FuzzResult fuzzSchedules(const Algorithm& algo,
+                         const config::Configuration& start,
+                         const config::Configuration& pattern,
+                         const FuzzOptions& opts = {});
+
+}  // namespace apf::sim

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file metrics.h
+/// Execution metrics collected by the engine: the quantities the paper's
+/// claims are stated in (cycles, random bits) plus diagnostics.
+
+#include <cstdint>
+#include <map>
+
+namespace apf::sim {
+
+struct Metrics {
+  /// Completed Look-Compute-Move cycles, summed over robots.
+  std::uint64_t cycles = 0;
+  /// Scheduler events processed (activations at event granularity).
+  std::uint64_t events = 0;
+  /// Random bits consumed by the algorithm (not the adversary).
+  std::uint64_t randomBits = 0;
+  /// Total distance traveled by all robots.
+  double distance = 0.0;
+  /// Activations per algorithm phase tag (see core/phases.h).
+  std::map<int, std::uint64_t> phaseActivations;
+};
+
+/// Result of one simulation run.
+struct RunResult {
+  /// True when the run reached a terminal configuration (no robot moves,
+  /// none moving) before the step limit.
+  bool terminated = false;
+  /// True when the final configuration is similar to the target pattern.
+  bool success = false;
+  Metrics metrics;
+};
+
+}  // namespace apf::sim

@@ -1,0 +1,51 @@
+#include "sim/trace.h"
+
+#include <fstream>
+
+namespace apf::sim {
+
+void Trace::attach(Engine& engine) {
+  initial_ = engine.positions();
+  steps_.clear();
+  engine.setObserver([this](const Engine& e, std::size_t robot) {
+    TraceStep step;
+    step.event = e.metrics().events;
+    step.robot = robot;
+    step.position = e.positions()[robot];
+    step.phaseTag = e.lastPhaseTag(robot);
+    steps_.push_back(step);
+  });
+}
+
+std::vector<std::vector<geom::Vec2>> Trace::trails() const {
+  std::vector<std::vector<geom::Vec2>> out(initial_.size());
+  for (std::size_t i = 0; i < initial_.size(); ++i) {
+    out[i].push_back(initial_[i]);
+  }
+  for (const TraceStep& s : steps_) {
+    if (s.robot < out.size()) out[s.robot].push_back(s.position);
+  }
+  return out;
+}
+
+std::vector<double> Trace::distances() const {
+  const auto t = trails();
+  std::vector<double> out(t.size(), 0.0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    for (std::size_t k = 1; k < t[i].size(); ++k) {
+      out[i] += geom::dist(t[i][k - 1], t[i][k]);
+    }
+  }
+  return out;
+}
+
+void Trace::writeCsv(const std::string& path) const {
+  std::ofstream os(path);
+  os << "event,robot,x,y,phase\n";
+  for (const TraceStep& s : steps_) {
+    os << s.event << ',' << s.robot << ',' << s.position.x << ','
+       << s.position.y << ',' << s.phaseTag << '\n';
+  }
+}
+
+}  // namespace apf::sim

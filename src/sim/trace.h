@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file trace.h
+/// Structured execution traces: a compact record of every position change
+/// (who, when, where, which phase ordered it), attachable to an Engine via
+/// its observer hook. Used by the examples for visualization, by tests for
+/// invariant checking along executions, and exportable to CSV for external
+/// analysis.
+
+#include <vector>
+
+#include "config/configuration.h"
+#include "sim/engine.h"
+
+namespace apf::sim {
+
+/// One recorded step: robot `robot` reached `position` at scheduler event
+/// `event`, while executing an action tagged `phaseTag`.
+struct TraceStep {
+  std::uint64_t event = 0;
+  std::size_t robot = 0;
+  geom::Vec2 position;
+  int phaseTag = 0;
+};
+
+class Trace {
+ public:
+  /// Attaches to the engine (replaces its observer). Records the initial
+  /// configuration immediately.
+  void attach(Engine& engine);
+
+  const config::Configuration& initial() const { return initial_; }
+  const std::vector<TraceStep>& steps() const { return steps_; }
+
+  /// Per-robot polyline of visited positions (initial + every change).
+  std::vector<std::vector<geom::Vec2>> trails() const;
+
+  /// Total path length per robot (sum of recorded displacements).
+  std::vector<double> distances() const;
+
+  /// Writes steps as CSV: event,robot,x,y,phase.
+  void writeCsv(const std::string& path) const;
+
+ private:
+  config::Configuration initial_;
+  std::vector<TraceStep> steps_;
+};
+
+}  // namespace apf::sim

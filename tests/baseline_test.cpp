@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "baseline/det_election.h"
+#include "baseline/yy.h"
+#include "config/generator.h"
+#include "core/analysis.h"
+#include "io/patterns.h"
+#include "sim/engine.h"
+
+namespace apf::baseline {
+namespace {
+
+using config::Configuration;
+
+TEST(YYBaselineTest, FormsPatternWithCommonChirality) {
+  int ok = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    config::Rng rng(seed);
+    const Configuration start = config::randomConfiguration(8, rng, 3.0, 0.1);
+    YYAlgorithm algo;
+    sim::EngineOptions opts;
+    opts.seed = seed;
+    opts.maxEvents = 150000;
+    opts.commonChirality = true;
+    opts.sched.kind = sched::SchedulerKind::SSync;
+    sim::Engine eng(start, io::randomPatternByName(8, seed + 50), algo, opts);
+    ok += eng.run().success;
+  }
+  EXPECT_GE(ok, 7) << "YY baseline should almost always succeed with chirality";
+}
+
+TEST(YYBaselineTest, FailsWithoutCommonChirality) {
+  int ok = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    config::Rng rng(seed);
+    const Configuration start = config::randomConfiguration(8, rng, 3.0, 0.1);
+    YYAlgorithm algo;
+    sim::EngineOptions opts;
+    opts.seed = seed;
+    opts.maxEvents = 150000;
+    opts.commonChirality = false;  // mirrored frames appear
+    opts.sched.kind = sched::SchedulerKind::SSync;
+    sim::Engine eng(start, io::randomPatternByName(8, seed + 50), algo, opts);
+    ok += eng.run().success;
+  }
+  EXPECT_LE(ok, 2) << "disagreeing handedness must break the baseline";
+}
+
+TEST(YYBaselineTest, ConsumesContinuousRandomness) {
+  // A symmetric start forces the randomized election: 53 bits per draw.
+  config::Rng rng(4);
+  const Configuration start = config::symmetricConfiguration(4, 2, rng);
+  YYAlgorithm algo;
+  sim::EngineOptions opts;
+  opts.seed = 3;
+  opts.maxEvents = 150000;
+  opts.commonChirality = true;
+  opts.sched.kind = sched::SchedulerKind::SSync;
+  sim::Engine eng(start, io::randomPatternByName(start.size(), 60), algo,
+                  opts);
+  const auto res = eng.run();
+  EXPECT_GT(res.metrics.randomBits, 0u);
+  EXPECT_EQ(res.metrics.randomBits % 53, 0u) << "draws are 53-bit uniforms";
+}
+
+TEST(DetElectionTest, ElectsOnAsymmetricConfig) {
+  config::Rng rng(5);
+  const Configuration start = config::randomConfiguration(8, rng, 3.0, 0.1);
+  DeterministicElection algo;
+  sim::EngineOptions opts;
+  opts.seed = 2;
+  opts.maxEvents = 100000;
+  opts.sched.kind = sched::SchedulerKind::Async;
+  const Configuration pattern = io::starPattern(8);
+  sim::Engine eng(start, pattern, algo, opts);
+  const auto res = eng.run();
+  EXPECT_TRUE(res.terminated);
+  EXPECT_EQ(res.metrics.randomBits, 0u);
+  sim::Snapshot snap;
+  snap.robots = eng.positions();
+  snap.pattern = pattern;
+  snap.selfIndex = 0;
+  core::Analysis a(snap);
+  EXPECT_TRUE(a.selectedRobot().has_value());
+}
+
+TEST(DetElectionTest, StallsOnSymmetricConfig) {
+  // The deterministic impossibility psi_RSB's randomness circumvents: with
+  // rho(P) > 1 there is no unique max view and the baseline freezes.
+  config::Rng rng(6);
+  const Configuration start = config::symmetricConfiguration(4, 2, rng);
+  DeterministicElection algo;
+  sim::EngineOptions opts;
+  opts.seed = 2;
+  opts.maxEvents = 50000;
+  opts.sched.kind = sched::SchedulerKind::SSync;
+  sim::Engine eng(start, io::starPattern(start.size()), algo, opts);
+  const auto res = eng.run();
+  EXPECT_TRUE(res.terminated);  // deterministically idle = "terminal"
+  EXPECT_EQ(res.metrics.distance, 0.0);  // nobody ever moved
+  sim::Snapshot snap;
+  snap.robots = eng.positions();
+  snap.pattern = io::starPattern(start.size());
+  snap.selfIndex = 0;
+  core::Analysis a(snap);
+  EXPECT_FALSE(a.selectedRobot().has_value()) << "election impossible";
+}
+
+}  // namespace
+}  // namespace apf::baseline

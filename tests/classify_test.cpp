@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "config/classify.h"
+#include "config/generator.h"
+#include "geom/angle.h"
+#include "io/patterns.h"
+
+namespace apf::config {
+namespace {
+
+TEST(ClassifyTest, RegularPolygonReport) {
+  const auto rep = classify(regularPolygon(6, 2.0, {1, 1}));
+  EXPECT_EQ(rep.n, 6u);
+  EXPECT_FALSE(rep.hasMultiplicity);
+  EXPECT_EQ(rep.symmetricity, 6);
+  EXPECT_EQ(rep.axes.size(), 6u);
+  ASSERT_TRUE(rep.regular.has_value());
+  EXPECT_TRUE(rep.regular->wholeConfig);
+  EXPECT_FALSE(rep.shifted.has_value());
+  EXPECT_EQ(rep.maxView.size(), 6u);  // all equivalent
+  EXPECT_NEAR(rep.sec.center.x, 1.0, 1e-9);
+}
+
+TEST(ClassifyTest, GenericReport) {
+  Rng rng(3);
+  const auto rep = classify(randomConfiguration(9, rng));
+  EXPECT_EQ(rep.symmetricity, 1);
+  EXPECT_TRUE(rep.axes.empty());
+  EXPECT_FALSE(rep.regular.has_value());
+  EXPECT_FALSE(rep.shifted.has_value());
+  EXPECT_EQ(rep.maxView.size(), 1u);
+}
+
+TEST(ClassifyTest, ShiftedReport) {
+  std::vector<double> radii(8, 2.0);
+  radii[0] = 1.0;
+  Configuration p = equiangularSet(radii, {}, 0.3);
+  p[0] = p[0].rotated(0.125 * geom::kTwoPi / 8);
+  const auto rep = classify(p);
+  ASSERT_TRUE(rep.shifted.has_value());
+  EXPECT_EQ(rep.shifted->shiftedRobot, 0u);
+  EXPECT_NEAR(rep.shifted->epsilon, 0.125, 1e-6);
+}
+
+TEST(ClassifyTest, MultiplicityFlag) {
+  const auto rep = classify(io::multiplicityPattern(9));
+  EXPECT_TRUE(rep.hasMultiplicity);
+}
+
+TEST(ClassifyTest, DescribeMentionsKeyFacts) {
+  const auto rep = classify(regularPolygon(5, 1.0));
+  const std::string d = rep.describe();
+  EXPECT_NE(d.find("n = 5"), std::string::npos);
+  EXPECT_NE(d.find("rho(P) = 5"), std::string::npos);
+  EXPECT_NE(d.find("reg(P): 5 robots"), std::string::npos);
+  EXPECT_NE(d.find("shifted set: none"), std::string::npos);
+}
+
+TEST(ClassifyTest, SkipShiftedFlag) {
+  std::vector<double> radii(8, 2.0);
+  radii[0] = 1.0;
+  Configuration p = equiangularSet(radii, {}, 0.3);
+  p[0] = p[0].rotated(0.125 * geom::kTwoPi / 8);
+  const auto rep = classify(p, /*analyzeShifted=*/false);
+  EXPECT_FALSE(rep.shifted.has_value());
+}
+
+}  // namespace
+}  // namespace apf::config

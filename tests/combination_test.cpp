@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "baseline/det_election.h"
+#include "config/generator.h"
+#include "core/combination.h"
+#include "core/form_pattern.h"
+#include "core/rsb.h"
+#include "io/patterns.h"
+#include "sim/engine.h"
+
+namespace apf::core {
+namespace {
+
+using config::Configuration;
+
+TEST(CombinationTest, FormedPatternIsEmptyConfiguration) {
+  // "P is empty for psi" on the goal configuration: nobody moves, nobody
+  // randomizes — the terminal configuration of the paper's definition.
+  FormPatternAlgorithm algo;
+  const Configuration f = io::starPattern(8);
+  const auto rep = probeActivity(
+      algo, f.transformed(geom::Similarity(0.3, 2.0, false, {1, 1})), f);
+  EXPECT_FALSE(rep.active());
+}
+
+TEST(CombinationTest, RandomStartIsActive) {
+  FormPatternAlgorithm algo;
+  config::Rng rng(3);
+  const auto rep = probeActivity(algo, config::randomConfiguration(8, rng),
+                                 io::starPattern(8));
+  EXPECT_TRUE(rep.active());
+  EXPECT_TRUE(rep.ordersMove);
+}
+
+TEST(CombinationTest, ElectionConfigurationIsActiveViaRandomnessAlone) {
+  // Two concentric squares: the election flips coins even when a draw
+  // orders no movement — such configurations must count as active, or the
+  // engine would declare premature termination.
+  RsbOnlyAlgorithm rsb;
+  Configuration p = config::regularPolygon(4, 2.0, {}, 0.0);
+  const Configuration inner = config::regularPolygon(4, 1.0, {}, 0.4);
+  for (const auto& v : inner.points()) p.push_back(v);
+  const auto rep = probeActivity(rsb, p, io::starPattern(8));
+  EXPECT_TRUE(rep.active());
+  EXPECT_TRUE(rep.consumesRandomness);
+}
+
+TEST(CombinationTest, RsbEmptyOnSelectedConfigurations) {
+  // psi_RSB's phase condition: a selected robot exists => psi_RSB is empty
+  // (its postcondition, the precondition of psi_DPF: disjoint active sets).
+  RsbOnlyAlgorithm rsb;
+  Configuration p = config::regularPolygon(7, 1.0, {}, 0.3);
+  p.push_back({0.03, 0.01});  // selected robot
+  const auto rep = probeActivity(rsb, p, io::starPattern(8));
+  EXPECT_FALSE(rep.active());
+}
+
+TEST(CombinationTest, DpfActiveExactlyWhereRsbIsEmpty) {
+  // On a selected configuration the full algorithm is active through its
+  // DPF phase while psi_RSB alone is empty: the hand-off point.
+  FormPatternAlgorithm form;
+  RsbOnlyAlgorithm rsb;
+  Configuration p = config::regularPolygon(7, 1.0, {}, 0.3);
+  p.push_back({0.03, 0.01});
+  const Configuration f = io::starPattern(8);
+  EXPECT_FALSE(probeActivity(rsb, p, f).active());
+  EXPECT_TRUE(probeActivity(form, p, f).active());
+}
+
+TEST(CombinationTest, TerminationAwarenessAlongExecution) {
+  // The paper's termination-awareness property, checked empirically along
+  // a real execution: the FIRST configuration that probes empty must also
+  // be the last (nothing may reactivate later). The engine's quiescence
+  // tracking depends on exactly this.
+  FormPatternAlgorithm algo;
+  config::Rng rng(9);
+  const Configuration start = config::randomConfiguration(8, rng, 4.0, 0.1);
+  const Configuration f = io::gridPattern(8);
+  sim::EngineOptions opts;
+  opts.seed = 4;
+  opts.maxEvents = 300000;
+  opts.sched.kind = sched::SchedulerKind::SSync;
+  sim::Engine eng(start, f, algo, opts);
+  const auto res = eng.run();
+  ASSERT_TRUE(res.terminated);
+  // Probe the final configuration from scratch: must be empty.
+  EXPECT_FALSE(probeActivity(algo, eng.positions(), f).active());
+}
+
+TEST(CombinationTest, DeterministicElectionEmptySetIncludesSymmetric) {
+  // The deterministic baseline is EMPTY on symmetric configurations — the
+  // impossibility witness: empty but NOT the goal.
+  baseline::DeterministicElection det;
+  config::Rng rng(5);
+  const Configuration p = config::symmetricConfiguration(4, 2, rng);
+  const auto rep = probeActivity(det, p, io::starPattern(p.size()));
+  EXPECT_FALSE(rep.active());
+}
+
+}  // namespace
+}  // namespace apf::core

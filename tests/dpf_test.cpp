@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/generator.h"
+#include "config/similarity.h"
+#include "core/dpf.h"
+#include "core/form_pattern.h"
+#include "core/phases.h"
+#include "geom/angle.h"
+#include "io/patterns.h"
+#include "sim/engine.h"
+
+namespace apf::core {
+namespace {
+
+using config::Configuration;
+using geom::Vec2;
+
+sim::Snapshot makeSnap(const Configuration& robots,
+                       const Configuration& pattern, std::size_t self) {
+  sim::Snapshot s;
+  s.robots = robots;
+  s.pattern = pattern;
+  s.selfIndex = self;
+  return s;
+}
+
+/// A configuration with a selected robot: random ring + inner robot.
+Configuration selectedStart(std::size_t n, std::uint64_t seed,
+                            double innerRadius = 0.02) {
+  config::Rng rng(seed);
+  Configuration p = config::randomConfiguration(n - 1, rng, 1.0, 5e-3);
+  // Rescale so the SEC is roughly the unit circle already, then implant a
+  // deep-inside selected robot.
+  p.push_back(Vec2{innerRadius, innerRadius / 3});
+  return p;
+}
+
+TEST(DpfTest, OnlyOneRobotMovesPerConfiguration) {
+  // psi_DPF is sequential in spirit: in each (static) configuration in
+  // phases 1-2, at most ... the coordinate and circle phases order exactly
+  // one robot to move (the rotation phase may move several). Verify for the
+  // early phases from a fresh selected configuration.
+  const Configuration p = selectedStart(9, 4);
+  const Configuration f = io::starPattern(9);
+  int movers = 0;
+  int tag = -1;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    Analysis a(makeSnap(p, f, i));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(a.selectedRobot().has_value());
+    const auto act = dpfCompute(a);
+    if (act.isMove()) {
+      ++movers;
+      tag = act.phaseTag;
+    }
+  }
+  EXPECT_EQ(movers, 1);
+  EXPECT_TRUE(tag == kDpfCoord || tag == kDpfClean || tag == kDpfLocate ||
+              tag == kDpfRemove || tag == kDpfNullAngle ||
+              tag == kDpfFixCircle)
+      << phaseName(tag);
+}
+
+TEST(DpfTest, DecisionsAreChiralityFree) {
+  // Mirror the whole snapshot: the computed action must be the mirror of
+  // the original action (no hidden handedness anywhere in psi_DPF).
+  const Configuration p = selectedStart(8, 9);
+  const Configuration f = io::starPattern(8);
+  const auto mirror = geom::Similarity::mirrorX();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    Analysis a(makeSnap(p, f, i));
+    Analysis am(makeSnap(p.transformed(mirror), f.transformed(mirror), i));
+    ASSERT_TRUE(a.ok() && am.ok());
+    const auto act = dpfCompute(a);
+    const auto actM = dpfCompute(am);
+    ASSERT_EQ(act.isMove(), actM.isMove()) << "robot " << i;
+    if (act.isMove()) {
+      const Vec2 e = act.path.end();
+      const Vec2 em = actM.path.end();
+      EXPECT_NEAR(e.x, em.x, 1e-6) << i;
+      EXPECT_NEAR(e.y, -em.y, 1e-6) << i;
+    }
+  }
+}
+
+TEST(DpfTest, DecisionsAreRotationInvariant) {
+  const Configuration p = selectedStart(8, 10);
+  const Configuration f = io::starPattern(8);
+  const auto rot = geom::Similarity::rotation(1.234);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    Analysis a(makeSnap(p, f, i));
+    Analysis ar(makeSnap(p.transformed(rot), f, i));
+    ASSERT_TRUE(a.ok() && ar.ok());
+    const auto act = dpfCompute(a);
+    const auto actR = dpfCompute(ar);
+    ASSERT_EQ(act.isMove(), actR.isMove()) << "robot " << i;
+    if (act.isMove()) {
+      const Vec2 e = rot.apply(act.path.end());
+      const Vec2 er = actR.path.end();
+      EXPECT_NEAR(e.x, er.x, 1e-6) << i;
+      EXPECT_NEAR(e.y, er.y, 1e-6) << i;
+    }
+  }
+}
+
+TEST(DpfTest, RmaxDescendsToFmaxRadius) {
+  // Construct: selected robot + unique innermost robot satisfying the
+  // angular conditions but farther out than fmax: it must move radially to
+  // |fmax|.
+  Configuration p = config::regularPolygon(7, 1.0, {}, 1.9);
+  p.push_back({0.01, 0.0});   // selected robot rs on the +x axis
+  p.push_back({0.7, 0.05});   // candidate rmax: closest, near rs's ray
+  const Configuration f = io::starPattern(9);  // fmax radius 0.45
+  int movers = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    Analysis a(makeSnap(p, f, i));
+    ASSERT_TRUE(a.ok());
+    const auto act = dpfCompute(a);
+    if (act.isMove()) {
+      ++movers;
+      EXPECT_EQ(i, 8u);
+      EXPECT_EQ(act.phaseTag, kDpfCoord);
+      // Radial descent to fmax's radius (0.45 normalized-ish; compare in
+      // the analysis frame).
+      const double endR = act.path.end().norm();
+      EXPECT_NEAR(endR, a.patternInfo().fmaxRadius, 1e-6);
+      EXPECT_NEAR(geom::angDist(act.path.end().arg(), a.P()[8].arg()), 0.0,
+                  1e-9);
+    }
+  }
+  EXPECT_EQ(movers, 1);
+}
+
+TEST(DpfTest, SelectedRobotRepositionsWhenNoRmax) {
+  // Two robots tie for min radius symmetrically about rs's ray: no unique
+  // rmax, so rs must move (toward the center).
+  Configuration p = config::regularPolygon(6, 1.0, {}, 0.0);
+  p.push_back({0.7, 0.3});
+  p.push_back({0.7, -0.3});
+  p.push_back({0.01, 0.0});  // rs on the axis of the tie
+  const Configuration f = io::starPattern(9);
+  int movers = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    Analysis a(makeSnap(p, f, i));
+    ASSERT_TRUE(a.ok());
+    ASSERT_EQ(a.selectedRobot().value(), 8u);
+    const auto act = dpfCompute(a);
+    if (act.isMove()) {
+      ++movers;
+      EXPECT_EQ(i, 8u) << "only rs may move";
+      EXPECT_LT(act.path.end().norm(), a.P()[8].norm());
+    }
+  }
+  EXPECT_EQ(movers, 1);
+}
+
+TEST(DpfTest, FullPipelinePreservesSelectedRobotUntilPatternDone) {
+  // Run the complete algorithm from selected configurations; at every
+  // intermediate configuration there must still be a selected robot until
+  // the run reaches the final-move / terminal regime — the combination's
+  // phase conditions depend on it (termination awareness).
+  const Configuration f = io::spiralPattern(8);
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Configuration start = selectedStart(8, seed);
+    FormPatternAlgorithm algo;
+    sim::EngineOptions opts;
+    opts.seed = seed * 7 + 1;
+    opts.maxEvents = 200000;
+    opts.sched.kind = sched::SchedulerKind::SSync;
+    sim::Engine eng(start, f, algo, opts);
+    bool selectedAlways = true;
+    eng.setObserver([&](const sim::Engine& e, std::size_t) {
+      Analysis a(makeSnap(e.positions(), f, 0));
+      if (!a.ok()) return;
+      if (a.selectedRobot().has_value()) return;
+      // Allowed exceptions: the terminal and final-move configurations.
+      if (config::similar(a.P(), a.F(), geom::Tol{1e-5, 1e-5})) return;
+      const auto maxP = a.maxViewP();
+      if (maxP.size() == 1) {
+        for (std::size_t fi : a.maxViewNonHoldersF()) {
+          if (config::findSimilarity(a.F().without(fi),
+                                     a.P().without(maxP.front()), true,
+                                     geom::Tol{1e-5, 1e-5})) {
+            return;
+          }
+        }
+      }
+      selectedAlways = false;
+    });
+    const auto res = eng.run();
+    EXPECT_TRUE(res.terminated) << "seed " << seed;
+    EXPECT_TRUE(res.success) << "seed " << seed;
+    EXPECT_TRUE(selectedAlways) << "seed " << seed;
+  }
+}
+
+TEST(DpfTest, SecRemainsStableDuringDpf) {
+  // Robots on C(P) maneuver without changing the enclosing circle: the SEC
+  // radius may only shrink when... it must stay constant through psi_DPF
+  // (all placements are inside or on C1 = the initial SEC). Track the SEC
+  // radius along an execution from a selected start.
+  const Configuration start = selectedStart(9, 21);
+  const Configuration f = io::ringCorePattern(9);
+  FormPatternAlgorithm algo;
+  sim::EngineOptions opts;
+  opts.seed = 5;
+  opts.maxEvents = 200000;
+  opts.sched.kind = sched::SchedulerKind::Async;
+  sim::Engine eng(start, f, algo, opts);
+  const double r0 = start.sec().radius;
+  double maxDrift = 0.0;
+  eng.setObserver([&](const sim::Engine& e, std::size_t) {
+    maxDrift = std::max(maxDrift,
+                        std::fabs(e.positions().sec().radius - r0) / r0);
+  });
+  const auto res = eng.run();
+  EXPECT_TRUE(res.success);
+  EXPECT_LT(maxDrift, 1e-6);
+}
+
+}  // namespace
+}  // namespace apf::core

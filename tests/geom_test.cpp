@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geom/angle.h"
+#include "geom/path.h"
+#include "geom/sec.h"
+#include "geom/transform.h"
+#include "geom/weber.h"
+
+namespace apf::geom {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, -1};
+  EXPECT_EQ(a + b, (Vec2{4, 1}));
+  EXPECT_EQ(a - b, (Vec2{-2, 3}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+}
+
+TEST(Vec2Test, RotationPreservesNormAndComposes) {
+  const Vec2 v{2, 1};
+  const Vec2 r = v.rotated(kPi / 3).rotated(-kPi / 3);
+  EXPECT_NEAR(r.x, v.x, 1e-12);
+  EXPECT_NEAR(r.y, v.y, 1e-12);
+  EXPECT_NEAR(v.rotated(kPi / 2).x, -v.y, 1e-12);
+  EXPECT_NEAR(v.rotated(kPi / 2).y, v.x, 1e-12);
+}
+
+TEST(AngleTest, Norm2PiRange) {
+  for (double a : {-10.0, -kPi, 0.0, 1.0, kTwoPi, 17.0}) {
+    const double r = norm2pi(a);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, kTwoPi);
+    EXPECT_NEAR(std::remainder(r - a, kTwoPi), 0.0, 1e-9);
+  }
+}
+
+TEST(AngleTest, AngCcwAndMin) {
+  const Vec2 v{0, 0};
+  EXPECT_NEAR(angCcw({1, 0}, v, {0, 1}), kPi / 2, 1e-12);
+  EXPECT_NEAR(angCcw({0, 1}, v, {1, 0}), 3 * kPi / 2, 1e-12);
+  EXPECT_NEAR(angMin({0, 1}, v, {1, 0}), kPi / 2, 1e-12);
+  EXPECT_NEAR(angMin({1, 0}, v, {-1, 0}), kPi, 1e-12);
+}
+
+TEST(AngleTest, AngDist) {
+  EXPECT_NEAR(angDist(0.1, kTwoPi - 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angDist(1.0, 1.0 + kPi), kPi, 1e-12);
+}
+
+TEST(SimilarityTest, ComposeMatchesSequentialApplication) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(-3, 3);
+  for (int it = 0; it < 200; ++it) {
+    const Similarity a(norm2pi(u(rng)), std::exp(u(rng) / 3), it % 2 == 0,
+                       {u(rng), u(rng)});
+    const Similarity b(norm2pi(u(rng)), std::exp(u(rng) / 3), it % 3 == 0,
+                       {u(rng), u(rng)});
+    const Vec2 p{u(rng), u(rng)};
+    const Vec2 viaCompose = (a * b).apply(p);
+    const Vec2 sequential = a.apply(b.apply(p));
+    EXPECT_NEAR(viaCompose.x, sequential.x, 1e-9);
+    EXPECT_NEAR(viaCompose.y, sequential.y, 1e-9);
+  }
+}
+
+TEST(SimilarityTest, InverseRoundTrips) {
+  std::mt19937 rng(8);
+  std::uniform_real_distribution<double> u(-3, 3);
+  for (int it = 0; it < 200; ++it) {
+    const Similarity t(norm2pi(u(rng)), std::exp(u(rng) / 3), it % 2 == 1,
+                       {u(rng), u(rng)});
+    const Vec2 p{u(rng), u(rng)};
+    const Vec2 back = t.inverse().apply(t.apply(p));
+    EXPECT_NEAR(back.x, p.x, 1e-9);
+    EXPECT_NEAR(back.y, p.y, 1e-9);
+  }
+}
+
+TEST(SecTest, TwoPoints) {
+  const Vec2 pts[] = {{-1, 0}, {1, 0}};
+  const Circle c = smallestEnclosingCircle(pts);
+  EXPECT_NEAR(c.center.x, 0.0, 1e-12);
+  EXPECT_NEAR(c.radius, 1.0, 1e-12);
+}
+
+TEST(SecTest, EquilateralTriangle) {
+  std::vector<Vec2> pts;
+  for (int k = 0; k < 3; ++k) {
+    pts.push_back(Vec2{std::cos(kTwoPi * k / 3), std::sin(kTwoPi * k / 3)});
+  }
+  const Circle c = smallestEnclosingCircle(pts);
+  EXPECT_NEAR(c.center.norm(), 0.0, 1e-9);
+  EXPECT_NEAR(c.radius, 1.0, 1e-9);
+}
+
+TEST(SecTest, InteriorPointsDoNotMatter) {
+  std::vector<Vec2> pts = {{-2, 0}, {2, 0}, {0, 0.5}, {0.3, -0.4}, {1, 1}};
+  const Circle c = smallestEnclosingCircle(pts);
+  for (const Vec2& p : pts) EXPECT_TRUE(c.contains(p));
+  EXPECT_NEAR(c.radius, 2.0, 1e-9);
+}
+
+TEST(SecTest, RandomPointsAllContainedAndMinimal) {
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> u(-10, 10);
+  for (int it = 0; it < 50; ++it) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 40; ++i) pts.push_back({u(rng), u(rng)});
+    const Circle c = smallestEnclosingCircle(pts);
+    int onBoundary = 0;
+    for (const Vec2& p : pts) {
+      EXPECT_LE(dist(p, c.center), c.radius + 1e-9);
+      if (c.onBoundary(p, Tol{1e-7, 1e-7})) ++onBoundary;
+    }
+    // Minimality: the SEC is determined by >= 2 boundary points.
+    EXPECT_GE(onBoundary, 2);
+  }
+}
+
+TEST(SecTest, HoldersDetected) {
+  // Equilateral triangle plus center point: each vertex holds the SEC
+  // (removing one shrinks the circle), the center point does not. Note a
+  // square's corners would NOT hold: the opposite pair still spans the
+  // diameter.
+  std::vector<Vec2> pts;
+  for (int k = 0; k < 3; ++k) {
+    pts.push_back(Vec2{std::cos(kTwoPi * k / 3), std::sin(kTwoPi * k / 3)});
+  }
+  pts.push_back({0, 0});
+  EXPECT_TRUE(holdsSec(pts, 0));
+  EXPECT_TRUE(holdsSec(pts, 1));
+  EXPECT_FALSE(holdsSec(pts, 3));
+  std::vector<Vec2> square = {{1, 1}, {-1, 1}, {-1, -1}, {1, -1}};
+  EXPECT_FALSE(holdsSec(square, 0));
+  // A hexagon's vertices individually do NOT hold the circle (removing one
+  // leaves an opposite pair at full diameter).
+  std::vector<Vec2> hex;
+  for (int k = 0; k < 6; ++k) {
+    hex.push_back(Vec2{std::cos(kTwoPi * k / 6), std::sin(kTwoPi * k / 6)});
+  }
+  for (std::size_t i = 0; i < hex.size(); ++i) EXPECT_FALSE(holdsSec(hex, i));
+}
+
+TEST(WeberTest, RegularPolygonCenter) {
+  for (int m : {3, 5, 8, 13}) {
+    std::vector<Vec2> pts;
+    for (int k = 0; k < m; ++k) {
+      const double a = 0.37 + kTwoPi * k / m;
+      pts.push_back(Vec2{4 + 2 * std::cos(a), -1 + 2 * std::sin(a)});
+    }
+    const Vec2 w = weberPoint(pts);
+    EXPECT_NEAR(w.x, 4.0, 1e-9) << "m=" << m;
+    EXPECT_NEAR(w.y, -1.0, 1e-9) << "m=" << m;
+  }
+}
+
+TEST(WeberTest, EquiangularVaryingRadiiCenter) {
+  // Equiangular but different radii: the grid center is still the Weber
+  // point (direction unit vectors sum to zero).
+  std::vector<Vec2> pts;
+  const double radii[] = {1.0, 2.5, 0.7, 1.4, 3.0, 1.1, 0.9};
+  for (int k = 0; k < 7; ++k) {
+    const double a = 1.1 + kTwoPi * k / 7;
+    pts.push_back(Vec2{radii[k] * std::cos(a), radii[k] * std::sin(a)});
+  }
+  const Vec2 w = weberPoint(pts);
+  EXPECT_NEAR(w.norm(), 0.0, 1e-8);
+}
+
+TEST(WeberTest, MedianOfCollinearOddPoints) {
+  std::vector<Vec2> pts = {{0, 0}, {1, 0}, {5, 0}, {2, 0}, {10, 0}};
+  const Vec2 w = weberPoint(pts);
+  EXPECT_NEAR(w.x, 2.0, 1e-6);
+  EXPECT_NEAR(w.y, 0.0, 1e-9);
+}
+
+TEST(GridFitTest, RecoversPerturbedCenter) {
+  // Build an exact 9-ray equiangular set, seed the fit with a wrong center,
+  // and check recovery.
+  std::vector<Vec2> pts;
+  std::vector<int> rays;
+  const double radii[] = {1, 2, 1.5, 0.8, 2.2, 1.9, 1.2, 0.6, 1.7};
+  for (int k = 0; k < 9; ++k) {
+    const double a = 0.2 + kTwoPi * k / 9;
+    pts.push_back(Vec2{3 + radii[k] * std::cos(a), 7 + radii[k] * std::sin(a)});
+    rays.push_back(k);
+  }
+  AngularGrid init;
+  init.center = {3.05, 6.96};
+  init.theta0 = 0.21;
+  init.numRays = 9;
+  const auto fit = fitAngularGrid(pts, rays, 9, false, init);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_LT(fit->maxResidual, 1e-10);
+  EXPECT_NEAR(fit->grid.center.x, 3.0, 1e-9);
+  EXPECT_NEAR(fit->grid.center.y, 7.0, 1e-9);
+  EXPECT_NEAR(fit->grid.theta0, 0.2, 1e-9);
+}
+
+TEST(GridFitTest, BiangularFitRecoversAlpha) {
+  std::vector<Vec2> pts;
+  std::vector<int> rays;
+  const int m = 8;
+  const double alpha = 0.4, beta = 2.0 * kTwoPi / m - alpha;
+  double a = 1.0;
+  for (int k = 0; k < m; ++k) {
+    pts.push_back(Vec2{2 * std::cos(a) - 1, 2 * std::sin(a) + 5});
+    rays.push_back(k);
+    a += (k % 2 == 0) ? alpha : beta;
+  }
+  AngularGrid init;
+  init.center = {-1.03, 5.02};
+  init.theta0 = 1.02;
+  init.alpha = 0.45;
+  init.numRays = m;
+  const auto fit = fitAngularGrid(pts, rays, m, true, init);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_LT(fit->maxResidual, 1e-10);
+  EXPECT_NEAR(fit->grid.alpha, alpha, 1e-9);
+  EXPECT_NEAR(fit->grid.center.x, -1.0, 1e-9);
+  EXPECT_NEAR(fit->grid.center.y, 5.0, 1e-9);
+}
+
+TEST(PathTest, LineAndArcLengths) {
+  Path p(Vec2{1, 0});
+  p.lineTo({3, 0});
+  p.arcAround({3, 1}, kPi / 2);  // quarter turn, radius 1
+  EXPECT_NEAR(p.length(), 2.0 + kPi / 2, 1e-12);
+  EXPECT_NEAR(p.pointAt(1.0).x, 2.0, 1e-12);
+  const Vec2 end = p.end();
+  EXPECT_NEAR(dist(end, {3, 1}), 1.0, 1e-12);
+}
+
+TEST(PathTest, ArcStaysOnCircle) {
+  Path p(Vec2{2, 0});
+  p.arcAround({0, 0}, 1.7);
+  for (double s = 0; s <= p.length(); s += p.length() / 20) {
+    EXPECT_NEAR(p.pointAt(s).norm(), 2.0, 1e-12);
+  }
+}
+
+TEST(PathTest, TransformedReflectsArcSweep) {
+  Path p(Vec2{1, 0});
+  p.arcAround({0, 0}, kPi / 2);  // ends at (0, 1)
+  const Path q = p.transformed(Similarity::mirrorX());
+  EXPECT_NEAR(q.end().x, 0.0, 1e-12);
+  EXPECT_NEAR(q.end().y, -1.0, 1e-12);
+  // Midpoint also mirrored.
+  EXPECT_NEAR(q.pointAt(q.length() / 2).y, -p.pointAt(p.length() / 2).y,
+              1e-12);
+}
+
+TEST(PathTest, PointAtClampsOutOfRange) {
+  Path p(Vec2{0, 0});
+  p.lineTo({1, 0});
+  EXPECT_EQ(p.pointAt(-1.0), (Vec2{0, 0}));
+  EXPECT_EQ(p.pointAt(99.0), (Vec2{1, 0}));
+}
+
+}  // namespace
+}  // namespace apf::geom

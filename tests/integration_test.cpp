@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "config/generator.h"
+#include "config/similarity.h"
+#include "core/form_pattern.h"
+#include "io/patterns.h"
+#include "sim/engine.h"
+
+namespace apf {
+namespace {
+
+using config::Configuration;
+using geom::Vec2;
+
+sched::SchedulerKind kindOf(const std::string& s) {
+  if (s == "fsync") return sched::SchedulerKind::FSync;
+  if (s == "ssync") return sched::SchedulerKind::SSync;
+  return sched::SchedulerKind::Async;
+}
+
+sim::RunResult runFormation(const Configuration& start,
+                            const Configuration& pattern,
+                            sched::SchedulerKind kind, std::uint64_t seed,
+                            std::uint64_t maxEvents = 400000,
+                            bool multiplicity = false,
+                            sim::Engine** engineOut = nullptr) {
+  static core::FormPatternAlgorithm algo;
+  sim::EngineOptions opts;
+  opts.seed = seed;
+  opts.maxEvents = maxEvents;
+  opts.multiplicityDetection = multiplicity;
+  opts.sched.kind = kind;
+  static thread_local std::unique_ptr<sim::Engine> eng;
+  eng = std::make_unique<sim::Engine>(start, pattern, algo, opts);
+  if (engineOut) *engineOut = eng.get();
+  return eng->run();
+}
+
+// ------------------------------------------------------- parameterized run
+
+using Cell = std::tuple<std::string /*pattern*/, std::string /*sched*/,
+                        std::size_t /*n*/>;
+
+class FormationMatrix : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(FormationMatrix, RandomStartForms) {
+  const auto& [patName, schedName, n] = GetParam();
+  config::Rng rng(1234 + n);
+  const Configuration start = config::randomConfiguration(n, rng, 5.0, 0.1);
+  const Configuration pattern = io::patternByName(patName, n, 77);
+  const auto res =
+      runFormation(start, pattern, kindOf(schedName), 42 + n);
+  EXPECT_TRUE(res.terminated);
+  EXPECT_TRUE(res.success);
+  // The headline randomness bound: never more than one bit per cycle.
+  EXPECT_LE(res.metrics.randomBits, res.metrics.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatternsSchedulersSizes, FormationMatrix,
+    ::testing::Combine(::testing::Values("polygon", "star", "grid", "spiral",
+                                         "ringcore", "random"),
+                       ::testing::Values("fsync", "ssync", "async"),
+                       ::testing::Values(std::size_t{7}, std::size_t{12})),
+    [](const ::testing::TestParamInfo<Cell>& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param) + "_n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ----------------------------------------------------- symmetric starts
+
+class SymmetricStart : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetricStart, ElectionBreaksSymmetry) {
+  const int rho = GetParam();
+  config::Rng rng(7 + rho);
+  // Enough rings to keep n >= 7 (the theorem's regime).
+  const int rings = (rho <= 3) ? 4 : 2;
+  const Configuration start = config::symmetricConfiguration(rho, rings, rng);
+  const Configuration pattern = io::randomPatternByName(start.size(), 55);
+  const auto res = runFormation(start, pattern,
+                                sched::SchedulerKind::Async, 100 + rho);
+  EXPECT_TRUE(res.terminated) << "rho=" << rho;
+  EXPECT_TRUE(res.success) << "rho=" << rho;
+  EXPECT_GT(res.metrics.randomBits, 0u) << "symmetry required randomness";
+}
+
+INSTANTIATE_TEST_SUITE_P(Rho, SymmetricStart, ::testing::Values(2, 3, 4, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "rho" + std::to_string(info.param);
+                         });
+
+TEST(IntegrationTest, AxiallySymmetricStartForms) {
+  // Mirror-symmetric (rho = 1) start: Property 1 guarantees a regular set;
+  // the election must still break the mirror tie.
+  Configuration start({{0, 3},
+                       {1.2, 1.4},
+                       {-1.2, 1.4},
+                       {0.7, -1.1},
+                       {-0.7, -1.1},
+                       {2.0, 0.3},
+                       {-2.0, 0.3},
+                       {0, -2.4}});
+  const Configuration pattern = io::randomPatternByName(8, 91);
+  const auto res =
+      runFormation(start, pattern, sched::SchedulerKind::Async, 17);
+  EXPECT_TRUE(res.terminated);
+  EXPECT_TRUE(res.success);
+}
+
+TEST(IntegrationTest, PatternEqualsStartIsTerminalImmediately) {
+  config::Rng rng(3);
+  const Configuration p = config::randomConfiguration(8, rng, 2.0, 0.1);
+  const auto res = runFormation(
+      p.transformed(geom::Similarity(0.9, 2.0, true, {4, -1})), p,
+      sched::SchedulerKind::Async, 5);
+  EXPECT_TRUE(res.terminated);
+  EXPECT_TRUE(res.success);
+  EXPECT_EQ(res.metrics.distance, 0.0);
+}
+
+TEST(IntegrationTest, TinyDeltaStillConverges) {
+  config::Rng rng(4);
+  const Configuration start = config::randomConfiguration(8, rng, 5.0, 0.1);
+  const Configuration pattern = io::starPattern(8);
+  core::FormPatternAlgorithm algo;
+  sim::EngineOptions opts;
+  opts.seed = 6;
+  opts.maxEvents = 1500000;
+  opts.sched.kind = sched::SchedulerKind::Async;
+  opts.sched.delta = 0.005;
+  opts.sched.earlyStopProb = 0.9;  // aggressive stop-at-delta adversary
+  sim::Engine eng(start, pattern, algo, opts);
+  const auto res = eng.run();
+  EXPECT_TRUE(res.terminated);
+  EXPECT_TRUE(res.success);
+}
+
+TEST(IntegrationTest, NoUnintendedMultiplicityEverCreated) {
+  // Without multiplicity in the target, robots must never collide along the
+  // way (the paper's movements are collision-free by construction).
+  config::Rng rng(8);
+  const Configuration start = config::randomConfiguration(9, rng, 4.0, 0.1);
+  const Configuration pattern = io::randomPatternByName(9, 33);
+  core::FormPatternAlgorithm algo;
+  sim::EngineOptions opts;
+  opts.seed = 11;
+  opts.maxEvents = 400000;
+  opts.sched.kind = sched::SchedulerKind::Async;
+  sim::Engine eng(start, pattern, algo, opts);
+  bool collision = false;
+  eng.setObserver([&](const sim::Engine& e, std::size_t) {
+    if (e.positions().hasMultiplicity(geom::Tol{1e-9, 1e-9})) {
+      collision = true;
+    }
+  });
+  const auto res = eng.run();
+  EXPECT_TRUE(res.success);
+  EXPECT_FALSE(collision);
+}
+
+TEST(IntegrationTest, TerminalConfigurationStaysTerminal) {
+  // Termination awareness: keep scheduling after success; nothing moves.
+  config::Rng rng(5);
+  const Configuration start = config::randomConfiguration(7, rng, 3.0, 0.1);
+  const Configuration pattern = io::gridPattern(7);
+  core::FormPatternAlgorithm algo;
+  sim::EngineOptions opts;
+  opts.seed = 19;
+  opts.maxEvents = 400000;
+  opts.sched.kind = sched::SchedulerKind::SSync;
+  sim::Engine eng(start, pattern, algo, opts);
+  auto res = eng.run();
+  ASSERT_TRUE(res.terminated);
+  ASSERT_TRUE(res.success);
+  const Configuration frozen = eng.positions();
+  // Force 200 more rounds.
+  for (int i = 0; i < 200; ++i) eng.step();
+  for (std::size_t i = 0; i < frozen.size(); ++i) {
+    EXPECT_EQ(frozen[i], eng.positions()[i]) << "robot " << i << " moved";
+  }
+}
+
+// --------------------------------------------------------- multiplicity
+
+TEST(IntegrationTest, InteriorMultiplicityPatternForms) {
+  config::Rng rng(6);
+  const Configuration start = config::randomConfiguration(9, rng, 4.0, 0.1);
+  const auto res = runFormation(start, io::multiplicityPattern(9),
+                                sched::SchedulerKind::Async, 23, 400000,
+                                /*multiplicity=*/true);
+  EXPECT_TRUE(res.terminated);
+  EXPECT_TRUE(res.success);
+}
+
+TEST(IntegrationTest, CenterMultiplicityPatternForms) {
+  config::Rng rng(7);
+  const Configuration start = config::randomConfiguration(9, rng, 4.0, 0.1);
+  const auto res = runFormation(start, io::centerMultiplicityPattern(9),
+                                sched::SchedulerKind::Async, 29, 400000,
+                                /*multiplicity=*/true);
+  EXPECT_TRUE(res.terminated);
+  EXPECT_TRUE(res.success);
+}
+
+TEST(IntegrationTest, MultiplicityPointActuallyFormed) {
+  // With detection on, the formed configuration contains a genuine
+  // multiplicity point matching the pattern's doubled point.
+  config::Rng rng(9);
+  const Configuration start = config::randomConfiguration(9, rng, 4.0, 0.1);
+  sim::Engine* eng = nullptr;
+  const auto res = runFormation(start, io::multiplicityPattern(9),
+                                sched::SchedulerKind::SSync, 31, 400000,
+                                /*multiplicity=*/true, &eng);
+  ASSERT_TRUE(res.success);
+  int maxCount = 0;
+  for (const auto& g : eng->positions().grouped(geom::Tol{1e-5, 1e-5})) {
+    maxCount = std::max(maxCount, g.count);
+  }
+  EXPECT_EQ(maxCount, 2);
+}
+
+// ------------------------------------------------------- frame robustness
+
+TEST(IntegrationTest, ScaledAndTranslatedWorldsForm) {
+  // Same logical run at wildly different world scales: both succeed (the
+  // algorithm normalizes; nothing depends on absolute units).
+  config::Rng rng(10);
+  const Configuration start = config::randomConfiguration(8, rng, 1.0, 0.02);
+  const Configuration big =
+      start.transformed(geom::Similarity(0.0, 1000.0, false, {5000, -300}));
+  const Configuration pattern = io::starPattern(8);
+  const auto small =
+      runFormation(start, pattern, sched::SchedulerKind::SSync, 37);
+  EXPECT_TRUE(small.success);
+  core::FormPatternAlgorithm algo;
+  sim::EngineOptions opts;
+  opts.seed = 37;
+  opts.maxEvents = 400000;
+  opts.sched.kind = sched::SchedulerKind::SSync;
+  opts.sched.delta = 50.0;  // delta scales with the world
+  sim::Engine eng(big, pattern, algo, opts);
+  EXPECT_TRUE(eng.run().success);
+}
+
+}  // namespace
+}  // namespace apf

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/canonical.h"
+#include "config/generator.h"
+#include "geom/angle.h"
+#include "geom/intersect.h"
+#include "io/patterns.h"
+
+namespace apf {
+namespace {
+
+using geom::Circle;
+using geom::Vec2;
+
+TEST(IntersectTest, CircleCircleTwoPoints) {
+  const auto pts = geom::intersectCircles({{0, 0}, 1.0}, {{1, 0}, 1.0});
+  ASSERT_EQ(pts.size(), 2u);
+  for (const Vec2& p : pts) {
+    EXPECT_NEAR(p.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(geom::dist(p, {1, 0}), 1.0, 1e-12);
+  }
+  EXPECT_NEAR(pts[0].x, 0.5, 1e-12);
+}
+
+TEST(IntersectTest, CircleCircleTangentAndDisjoint) {
+  const auto tangent = geom::intersectCircles({{0, 0}, 1.0}, {{2, 0}, 1.0});
+  ASSERT_EQ(tangent.size(), 1u);
+  EXPECT_NEAR(tangent[0].x, 1.0, 1e-6);
+  EXPECT_TRUE(geom::intersectCircles({{0, 0}, 1.0}, {{5, 0}, 1.0}).empty());
+  EXPECT_TRUE(geom::intersectCircles({{0, 0}, 3.0}, {{0.5, 0}, 1.0}).empty());
+  EXPECT_TRUE(geom::intersectCircles({{0, 0}, 1.0}, {{0, 0}, 1.0}).empty());
+}
+
+TEST(IntersectTest, LineCircle) {
+  const Circle c{{0, 0}, 2.0};
+  const auto two = geom::intersectLineCircle({-5, 0}, {1, 0}, c);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_NEAR(two[0].x, -2.0, 1e-12);
+  EXPECT_NEAR(two[1].x, 2.0, 1e-12);
+  const auto tangent = geom::intersectLineCircle({-5, 2}, {1, 0}, c);
+  ASSERT_EQ(tangent.size(), 1u);
+  EXPECT_NEAR(tangent[0].y, 2.0, 1e-9);
+  EXPECT_TRUE(geom::intersectLineCircle({-5, 3}, {1, 0}, c).empty());
+  EXPECT_TRUE(geom::intersectLineCircle({0, 0}, {0, 0}, c).empty());
+}
+
+TEST(IntersectTest, RayFirstHit) {
+  const Circle c{{0, 0}, 2.0};
+  const auto hit = geom::rayCircleFirstHit({-5, 0}, {1, 0}, c);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, -2.0, 1e-12);
+  // Ray pointing away misses.
+  EXPECT_FALSE(geom::rayCircleFirstHit({-5, 0}, {-1, 0}, c).has_value());
+  // Ray starting inside exits through the forward boundary point.
+  const auto exit = geom::rayCircleFirstHit({0.5, 0}, {1, 0}, c);
+  ASSERT_TRUE(exit.has_value());
+  EXPECT_NEAR(exit->x, 2.0, 1e-12);
+}
+
+TEST(CanonicalTest, InvariantUnderSimilarity) {
+  config::Rng rng(3);
+  const config::Configuration p = config::randomConfiguration(9, rng);
+  const auto base = config::canonicalSignature(p);
+  for (int k = 0; k < 8; ++k) {
+    const geom::Similarity t(0.7 * k, std::pow(1.5, k % 3), k % 2 == 1,
+                             {1.0 * k, -2.0 * k});
+    EXPECT_EQ(config::canonicalSignature(p.transformed(t)), base) << k;
+  }
+}
+
+TEST(CanonicalTest, DistinguishesDifferentShapes) {
+  config::Rng rng(4);
+  const auto a = config::canonicalSignature(config::randomConfiguration(9, rng));
+  const auto b = config::canonicalSignature(config::randomConfiguration(9, rng));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(CanonicalTest, SymmetricShapesStillCanonical) {
+  // A square has 8 equivalent anchors; the canonical form must still be
+  // unique and invariant.
+  const auto sq = config::canonicalSignature(io::polygonPattern(4));
+  const auto sqRot = config::canonicalSignature(
+      io::polygonPattern(4).transformed(geom::Similarity::rotation(0.77)));
+  EXPECT_EQ(sq, sqRot);
+  EXPECT_NE(sq, config::canonicalSignature(io::polygonPattern(5)));
+}
+
+TEST(CanonicalTest, DegenerateAllCoincident) {
+  const config::Configuration blob({{1, 1}, {1, 1}, {1, 1}});
+  const auto sig = config::canonicalSignature(blob);
+  ASSERT_EQ(sig.key.size(), 1u);
+  EXPECT_EQ(sig.key[0], 3);
+}
+
+}  // namespace
+}  // namespace apf

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/moves.h"
+#include "geom/angle.h"
+
+namespace apf::core {
+namespace {
+
+using geom::kPi;
+using geom::Vec2;
+
+TEST(MovesTest, RadialPathStaysOnRay) {
+  const Vec2 c{1, 1};
+  const Vec2 from{4, 5};  // distance 5 from c
+  const geom::Path p = radialPath(c, from, 2.0);
+  EXPECT_NEAR(p.length(), 3.0, 1e-12);
+  // Every intermediate point is on the ray c -> from.
+  const Vec2 dir = (from - c).normalized();
+  for (double s = 0; s <= p.length(); s += 0.3) {
+    const Vec2 q = p.pointAt(s) - c;
+    EXPECT_NEAR(q.cross(dir), 0.0, 1e-12);
+    EXPECT_GT(q.dot(dir), 0.0);
+  }
+  EXPECT_NEAR(geom::dist(p.end(), c), 2.0, 1e-12);
+}
+
+TEST(MovesTest, RadialPathOutward) {
+  const geom::Path p = radialPath({}, {1, 0}, 3.0);
+  EXPECT_NEAR(p.end().x, 3.0, 1e-12);
+  EXPECT_NEAR(p.end().y, 0.0, 1e-12);
+}
+
+TEST(MovesTest, RadialPathDegenerateCases) {
+  EXPECT_TRUE(radialPath({}, {}, 1.0).empty());        // at center
+  EXPECT_TRUE(radialPath({}, {2, 0}, 2.0).empty());    // already there
+}
+
+TEST(MovesTest, ArcToAngleShortWay) {
+  const geom::Path p = arcToAngle({}, {2, 0}, 0.3);
+  EXPECT_NEAR(p.length(), 2.0 * 0.3, 1e-12);
+  EXPECT_NEAR((p.end()).arg(), 0.3, 1e-12);
+  // Short way: from angle 0 to angle 2*pi - 0.3 sweeps -0.3.
+  const geom::Path q = arcToAngle({}, {2, 0}, geom::kTwoPi - 0.3);
+  EXPECT_NEAR(q.length(), 2.0 * 0.3, 1e-12);
+}
+
+TEST(MovesTest, ArcKeepsRadiusUnderPartialStop) {
+  const Vec2 c{-1, 2};
+  const Vec2 from = c + Vec2{1.5, 0};
+  const geom::Path p = arcBySweep(c, from, 2.0);
+  for (double s = 0; s < p.length(); s += p.length() / 17) {
+    EXPECT_NEAR(geom::dist(p.pointAt(s), c), 1.5, 1e-12);
+  }
+}
+
+TEST(MovesTest, ArcSweepSign) {
+  const geom::Path ccw = arcBySweep({}, {1, 0}, kPi / 2);
+  EXPECT_NEAR(ccw.end().y, 1.0, 1e-12);
+  const geom::Path cw = arcBySweep({}, {1, 0}, -kPi / 2);
+  EXPECT_NEAR(cw.end().y, -1.0, 1e-12);
+}
+
+TEST(MovesTest, LinePathBasics) {
+  const geom::Path p = linePath({0, 0}, {3, 4});
+  EXPECT_NEAR(p.length(), 5.0, 1e-12);
+  EXPECT_TRUE(linePath({1, 1}, {1, 1}).empty());
+}
+
+}  // namespace
+}  // namespace apf::core

@@ -1,0 +1,167 @@
+/// Unit tests of the appendix-C machinery: F~ construction, the gather
+/// stage's oblivious recognition, and the merge rule in the rotation phase.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/generator.h"
+#include "config/similarity.h"
+#include "core/analysis.h"
+#include "core/form_pattern.h"
+#include "core/multiplicity.h"
+#include "core/phases.h"
+#include "sim/engine.h"
+#include "geom/angle.h"
+#include "io/patterns.h"
+
+namespace apf::core {
+namespace {
+
+using config::Configuration;
+using geom::Vec2;
+
+TEST(MultiplicityTest, AnalyzeDetectsCenterMultiplicity) {
+  const auto cm = analyzeCenterMultiplicity(io::centerMultiplicityPattern(9));
+  ASSERT_TRUE(cm.has_value());
+  EXPECT_EQ(cm->count, 2);
+  // F~ has no point at the center and the same size.
+  EXPECT_EQ(cm->fTilde.size(), 9u);
+  for (const auto& p : cm->fTilde.points()) {
+    EXPECT_GT(p.norm(), 1e-3);
+  }
+  // The relocated points coincide at g_F (multiplicity preserved).
+  int maxCount = 0;
+  for (const auto& g : cm->fTilde.grouped()) {
+    maxCount = std::max(maxCount, g.count);
+  }
+  EXPECT_EQ(maxCount, 2);
+}
+
+TEST(MultiplicityTest, AnalyzeIgnoresInteriorMultiplicity) {
+  // Multiplicity away from the center needs no F~ rewrite.
+  EXPECT_FALSE(analyzeCenterMultiplicity(io::multiplicityPattern(9))
+                   .has_value());
+  // And plain patterns neither.
+  EXPECT_FALSE(analyzeCenterMultiplicity(io::starPattern(8)).has_value());
+  // Gathering (all points equal) is out of scope.
+  const Configuration gather({{1, 1}, {1, 1}, {1, 1}, {1, 1}});
+  EXPECT_FALSE(analyzeCenterMultiplicity(gather).has_value());
+}
+
+TEST(MultiplicityTest, GFIsMidpointOfMaxViewNonCenterPoint) {
+  const auto cm = analyzeCenterMultiplicity(io::centerMultiplicityPattern(9));
+  ASSERT_TRUE(cm.has_value());
+  // g_F = half the radius of SOME non-center point; for this pattern all
+  // non-center points are the 7-gon at radius 1 (normalized), so |g_F| =
+  // 0.5.
+  Vec2 gF{};
+  for (const auto& g : cm->fTilde.grouped()) {
+    if (g.count == 2) gF = g.pos;
+  }
+  EXPECT_NEAR(gF.norm(), 0.5, 1e-9);
+}
+
+/// Builds the F~-formed state: the 7-gon at its pattern points plus m
+/// robots merged at g_F.
+sim::Snapshot tildeFormedSnapshot(std::size_t self) {
+  const auto cm = analyzeCenterMultiplicity(io::centerMultiplicityPattern(9));
+  sim::Snapshot snap;
+  snap.robots = cm->fTilde;  // robots exactly at the F~ points
+  snap.pattern = io::centerMultiplicityPattern(9);
+  snap.selfIndex = self;
+  snap.multiplicityDetection = true;
+  return snap;
+}
+
+TEST(MultiplicityTest, GatherMoveFiresWhenTildeFormed) {
+  const auto cm = analyzeCenterMultiplicity(io::centerMultiplicityPattern(9));
+  ASSERT_TRUE(cm.has_value());
+  int movers = 0;
+  for (std::size_t self = 0; self < 9; ++self) {
+    sim::Snapshot snap = tildeFormedSnapshot(self);
+    Analysis a(snap);
+    ASSERT_TRUE(a.ok());
+    const auto act = centerGatherMove(a, *cm);
+    ASSERT_TRUE(act.has_value()) << self;
+    if (act->isMove()) {
+      ++movers;
+      EXPECT_EQ(act->phaseTag, kMultiplicity);
+      // Destination: the pattern center (the origin here).
+      EXPECT_LT(act->path.end().norm(), 1e-6);
+    }
+  }
+  EXPECT_EQ(movers, 2);  // exactly the two robots at g_F
+}
+
+TEST(MultiplicityTest, GatherContinuesMidDescent) {
+  // One gathered robot has already walked halfway down the ray: the stage
+  // must still be recognized and both movers keep descending.
+  const auto cm = analyzeCenterMultiplicity(io::centerMultiplicityPattern(9));
+  sim::Snapshot snap = tildeFormedSnapshot(0);
+  // Move one g_F robot halfway to the center (same ray).
+  for (std::size_t i = 0; i < snap.robots.size(); ++i) {
+    if (std::fabs(snap.robots[i].norm() - 0.5) < 1e-9) {
+      snap.robots[i] = snap.robots[i] * 0.5;
+      break;
+    }
+  }
+  Analysis a(snap);
+  ASSERT_TRUE(a.ok());
+  const auto act = centerGatherMove(a, *cm);
+  ASSERT_TRUE(act.has_value());
+}
+
+TEST(MultiplicityTest, GatherRefusesWrongConfigurations) {
+  const auto cm = analyzeCenterMultiplicity(io::centerMultiplicityPattern(9));
+  // (a) Rest does not match F minus center: random robots.
+  config::Rng rng(5);
+  sim::Snapshot snap;
+  snap.robots = config::randomConfiguration(9, rng);
+  snap.pattern = io::centerMultiplicityPattern(9);
+  snap.selfIndex = 0;
+  snap.multiplicityDetection = true;
+  Analysis a(snap);
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(centerGatherMove(a, *cm).has_value());
+
+  // (b) Innermost robots not on one ray: perturb one g_F robot's angle.
+  sim::Snapshot snap2 = tildeFormedSnapshot(0);
+  for (std::size_t i = 0; i < snap2.robots.size(); ++i) {
+    if (std::fabs(snap2.robots[i].norm() - 0.5) < 1e-9) {
+      snap2.robots[i] = snap2.robots[i].rotated(0.3) * 0.6;
+      break;
+    }
+  }
+  Analysis a2(snap2);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_FALSE(centerGatherMove(a2, *cm).has_value());
+}
+
+TEST(MultiplicityTest, PrematureMergeIsScatteredAndRunRecovers) {
+  // Regression: forming a center-multiplicity pattern from a symmetric
+  // start, phase 3 can merge two robots at the g_F point before the outer
+  // ring is finished; the run then falls back to the election, where
+  // co-located robots tie in every view. The scatter repair rule must
+  // dissolve the point and the run must still succeed. (Found by the
+  // 300-scenario stress campaign, t = 148.)
+  for (std::uint64_t s : {0ull, 1ull, 2ull}) {
+    config::Rng rng(2148 + s);
+    const Configuration start = config::symmetricConfiguration(7, 2, rng);
+    FormPatternAlgorithm algo;
+    sim::EngineOptions opts;
+    opts.seed = 148 * 7919 + 31 + s;
+    opts.maxEvents = 1500000;
+    opts.multiplicityDetection = true;
+    opts.sched.kind = sched::SchedulerKind::Async;
+    opts.sched.earlyStopProb = 0.9;
+    sim::Engine eng(start, io::centerMultiplicityPattern(start.size()),
+                    algo, opts);
+    const auto res = eng.run();
+    EXPECT_TRUE(res.terminated) << s;
+    EXPECT_TRUE(res.success) << s;
+  }
+}
+
+}  // namespace
+}  // namespace apf::core

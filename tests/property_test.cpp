@@ -1,0 +1,288 @@
+/// Property-based sweeps (TEST_P over seeds): invariants of the geometry
+/// kernel, the detection machinery (including the paper's Property 2), and
+/// the engine. Each property runs across many random instances.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "config/generator.h"
+#include "config/rays.h"
+#include "config/regular.h"
+#include "config/shifted.h"
+#include "config/similarity.h"
+#include "config/symmetry.h"
+#include "config/view.h"
+#include "core/form_pattern.h"
+#include "geom/angle.h"
+#include "geom/sec.h"
+#include "geom/weber.h"
+#include "io/patterns.h"
+#include "sim/engine.h"
+
+namespace apf {
+namespace {
+
+using config::Configuration;
+using geom::Vec2;
+
+class Seeded : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::uint64_t seed() const { return GetParam(); }
+};
+
+// ------------------------------------------------------------ geometry
+
+using SecProperty = Seeded;
+
+TEST_P(SecProperty, CoversAllAndIsMinimalVsBruteForce) {
+  config::Rng rng(seed());
+  std::uniform_int_distribution<int> un(3, 12);
+  const int n = un(rng);
+  const Configuration p = config::randomConfiguration(n, rng, 5.0, 1e-3);
+  const geom::Circle c = geom::smallestEnclosingCircle(p.span());
+  for (const Vec2& q : p.points()) {
+    EXPECT_LE(geom::dist(q, c.center), c.radius + 1e-9);
+  }
+  // Brute force over all 2- and 3-subsets: no smaller covering circle.
+  double best = c.radius;
+  const auto& pts = p.points();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      const geom::Circle two{geom::midpoint(pts[i], pts[j]),
+                             geom::dist(pts[i], pts[j]) / 2};
+      bool covers = true;
+      for (const Vec2& q : pts) {
+        if (geom::dist(q, two.center) > two.radius + 1e-9) covers = false;
+      }
+      if (covers) best = std::min(best, two.radius);
+    }
+  }
+  EXPECT_GE(best, c.radius - 1e-7);
+}
+
+TEST_P(SecProperty, EquivariantUnderRigidMotion) {
+  config::Rng rng(seed());
+  const Configuration p = config::randomConfiguration(10, rng, 4.0, 1e-3);
+  std::uniform_real_distribution<double> u(-3, 3);
+  const geom::Similarity t(geom::norm2pi(u(rng)), std::exp(u(rng) / 4),
+                           seed() % 2 == 0, {u(rng), u(rng)});
+  const geom::Circle a = geom::smallestEnclosingCircle(p.span());
+  const geom::Circle b =
+      geom::smallestEnclosingCircle(p.transformed(t).span());
+  EXPECT_NEAR(b.radius, a.radius * t.scale(), 1e-7);
+  EXPECT_LT(geom::dist(b.center, t.apply(a.center)), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SecProperty, ::testing::Range(std::uint64_t{1}, std::uint64_t{21}));
+
+using WeberProperty = Seeded;
+
+TEST_P(WeberProperty, StationaryAndEquivariant) {
+  config::Rng rng(seed());
+  const Configuration p = config::randomConfiguration(9, rng, 3.0, 1e-3);
+  const Vec2 w = geom::weberPoint(p.span());
+  // Stationarity. When the median coincides with an input point, the
+  // optimality condition is |sum of unit pulls from the OTHERS| <= 1
+  // (subgradient); otherwise the full gradient vanishes.
+  Vec2 g{};
+  bool atPoint = false;
+  for (const Vec2& q : p.points()) {
+    if (geom::dist(q, w) < 1e-9) {
+      atPoint = true;
+      continue;
+    }
+    g += (q - w).normalized();
+  }
+  if (atPoint) {
+    EXPECT_LE(g.norm(), 1.0 + 1e-6);
+  } else {
+    EXPECT_LT(g.norm(), 1e-4);
+  }
+  // Rotation equivariance.
+  const geom::Similarity rot = geom::Similarity::rotation(1.0 + 0.1 * seed());
+  const Vec2 w2 = geom::weberPoint(p.transformed(rot).span());
+  EXPECT_LT(geom::dist(w2, rot.apply(w)), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WeberProperty, ::testing::Range(std::uint64_t{1}, std::uint64_t{16}));
+
+// ----------------------------------------------------------- detection
+
+using RegularProperty = Seeded;
+
+TEST_P(RegularProperty, RegularSetInvariantUnderRadialMoves) {
+  // Paper Property 2 (M1): radial moves of the regular set's members keep
+  // the same regular set (same robots, same center).
+  config::Rng rng(seed());
+  const int rho = 3 + static_cast<int>(seed() % 4);
+  // Three rings: two rings would form a bi-angled WHOLE-configuration set
+  // (any two concentric rho-gons are bi-angled); with three random phases
+  // the regular set is the proper subset we want to track.
+  Configuration p = config::symmetricConfiguration(rho, 3, rng);
+  const auto before = config::regularSetOf(p);
+  ASSERT_TRUE(before.has_value());
+  ASSERT_FALSE(before->wholeConfig);
+  const Vec2 c = before->grid.center;
+  // Move each member radially by a random factor in [0.7, 0.95], keeping
+  // them the innermost robots (their class is the inner ring).
+  std::uniform_real_distribution<double> u(0.7, 0.95);
+  const double factor = u(rng);
+  for (std::size_t i : before->indices) {
+    p[i] = c + (p[i] - c) * factor;
+  }
+  const auto after = config::regularSetOf(p);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->indices.size(), before->indices.size());
+  std::vector<std::size_t> a = before->indices, b = after->indices;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_LT(geom::dist(after->grid.center, c), 1e-7);
+}
+
+TEST_P(RegularProperty, RhoDividesRobotCount) {
+  config::Rng rng(seed());
+  const Configuration p = config::symmetricConfiguration(
+      2 + static_cast<int>(seed() % 5), 2 + static_cast<int>(seed() % 2),
+      rng);
+  const int rho = config::symmetricity(p, {});
+  EXPECT_EQ(p.size() % rho, 0u);
+}
+
+TEST_P(RegularProperty, ShiftedDetectionSurvivesM3M4Moves) {
+  // Property 2 (M3/M4): the shifted robot may move on or inside its circle
+  // (keeping 0 < eps <= 1/4) and the others may move radially outside the
+  // shifted robot's disc; the same shifted set must still be detected.
+  const int m = 7 + static_cast<int>(seed() % 5);
+  std::vector<double> radii(m, 2.0);
+  radii[0] = 1.0;
+  Configuration p = config::equiangularSet(radii, {}, 0.1 * seed());
+  const double alpha = geom::kTwoPi / m;
+  p[0] = p[0].rotated(0.125 * alpha);
+  const auto before = config::shiftedRegularSetOf(p);
+  ASSERT_TRUE(before.has_value());
+  ASSERT_EQ(before->shiftedRobot, 0u);
+  // M3: shifted robot inward; M4: one other member slightly outward.
+  p[0] = p[0] * 0.8;
+  p[2] = p[2] * 1.1;
+  const auto after = config::shiftedRegularSetOf(p);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->shiftedRobot, 0u);
+  EXPECT_NEAR(after->epsilon, before->epsilon, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RegularProperty,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{13}));
+
+using SimilarityProperty = Seeded;
+
+TEST_P(SimilarityProperty, EquivalenceRelation) {
+  config::Rng rng(seed());
+  const Configuration a = config::randomConfiguration(8, rng, 2.0, 1e-3);
+  std::uniform_real_distribution<double> u(-2, 2);
+  const geom::Similarity t1(geom::norm2pi(u(rng)), std::exp(u(rng) / 3),
+                            seed() % 2 == 1, {u(rng), u(rng)});
+  const geom::Similarity t2(geom::norm2pi(u(rng)), std::exp(u(rng) / 3),
+                            seed() % 3 == 1, {u(rng), u(rng)});
+  const Configuration b = a.transformed(t1);
+  const Configuration c = b.transformed(t2);
+  EXPECT_TRUE(config::similar(a, a));                    // reflexive
+  EXPECT_TRUE(config::similar(a, b) && config::similar(b, a));  // symmetric
+  EXPECT_TRUE(config::similar(a, c));                    // transitive chain
+}
+
+TEST_P(SimilarityProperty, PerturbationBreaksSimilarity) {
+  config::Rng rng(seed());
+  const Configuration a = config::randomConfiguration(8, rng, 2.0, 0.05);
+  Configuration b = a;
+  b[seed() % b.size()] += Vec2{0.02, -0.013};  // well above tolerance
+  EXPECT_FALSE(config::similar(a, b, geom::Tol{1e-6, 1e-6}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimilarityProperty,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{16}));
+
+// -------------------------------------------------------------- engine
+
+using EngineProperty = Seeded;
+
+TEST_P(EngineProperty, RunsAreDeterministicGivenSeed) {
+  core::FormPatternAlgorithm algo;
+  config::Rng rng(seed());
+  const Configuration start = config::randomConfiguration(8, rng, 4.0, 0.1);
+  const Configuration pattern = io::randomPatternByName(8, seed());
+  sim::EngineOptions opts;
+  opts.seed = seed() * 31 + 7;
+  opts.maxEvents = 300000;
+  opts.sched.kind = sched::SchedulerKind::Async;
+  sim::Engine a(start, pattern, algo, opts);
+  sim::Engine b(start, pattern, algo, opts);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.success, rb.success);
+  EXPECT_EQ(ra.metrics.events, rb.metrics.events);
+  EXPECT_EQ(ra.metrics.randomBits, rb.metrics.randomBits);
+  for (std::size_t i = 0; i < start.size(); ++i) {
+    EXPECT_EQ(a.positions()[i], b.positions()[i]);
+  }
+}
+
+TEST_P(EngineProperty, AlgorithmIsFrameCovariant) {
+  // The same world snapshot seen through two different private frames must
+  // produce the same WORLD action (path endpoints map through the frames).
+  core::FormPatternAlgorithm algo;
+  config::Rng rng(seed());
+  const Configuration world = config::randomConfiguration(8, rng, 3.0, 0.1);
+  const Configuration pattern = io::starPattern(8);
+  std::uniform_real_distribution<double> u(0, 6.28);
+  const geom::Similarity frame(u(rng), std::exp(u(rng) / 8 - 0.4),
+                               seed() % 2 == 0, {});
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    sim::Snapshot plain;
+    std::vector<Vec2> local;
+    for (const auto& q : world.points()) local.push_back(q - world[i]);
+    plain.robots = Configuration(local);
+    plain.selfIndex = i;
+    plain.pattern = pattern;
+
+    sim::Snapshot framed = plain;
+    framed.robots = plain.robots.transformed(frame);
+
+    sched::RandomSource r1(99), r2(99);
+    const auto a1 = algo.compute(plain, r1);
+    const auto a2 = algo.compute(framed, r2);
+    ASSERT_EQ(a1.isMove(), a2.isMove()) << "robot " << i;
+    ASSERT_EQ(a1.phaseTag, a2.phaseTag) << "robot " << i;
+    if (a1.isMove()) {
+      const Vec2 expect = frame.apply(a1.path.end());
+      EXPECT_LT(geom::dist(expect, a2.path.end()), 1e-6) << "robot " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineProperty, ::testing::Range(std::uint64_t{1}, std::uint64_t{11}));
+
+// -------------------------------------------------------------- rays
+
+using RaysProperty = Seeded;
+
+TEST_P(RaysProperty, AlphaMinBoundsAndSymmetry) {
+  config::Rng rng(seed());
+  const Configuration p = config::randomConfiguration(9, rng, 2.0, 1e-3);
+  const Vec2 c = p.sec().center;
+  const double am = config::alphaMin(p, c);
+  EXPECT_GT(am, 0.0);
+  EXPECT_LE(am, geom::kTwoPi / p.size() + 1e-9);  // pigeonhole
+  // alphaMinAt of an existing robot equals its min gap to the others.
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double ai = config::alphaMinAt(p[i], p, c);
+    EXPECT_GE(ai, am - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RaysProperty, ::testing::Range(std::uint64_t{1}, std::uint64_t{11}));
+
+}  // namespace
+}  // namespace apf

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/generator.h"
+#include "config/rays.h"
+#include "config/regular.h"
+#include "config/symmetry.h"
+#include "geom/angle.h"
+
+namespace apf::config {
+namespace {
+
+using geom::kPi;
+using geom::kTwoPi;
+using geom::Vec2;
+
+TEST(RegularKnownCenterTest, EquiangularDetected) {
+  const double radii[] = {1.0, 2.0, 1.5, 0.7, 2.4};
+  const Configuration p = equiangularSet(radii, {2, -1}, 0.3);
+  std::vector<std::size_t> all{0, 1, 2, 3, 4};
+  const auto info = checkRegularKnownCenter(p, all, {2, -1});
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->biangular);
+  EXPECT_EQ(info->indices.size(), 5u);
+  EXPECT_EQ(info->rotationalOrder(), 5);
+  EXPECT_NEAR(info->grid.alpha, kTwoPi / 5, 1e-9);
+}
+
+TEST(RegularKnownCenterTest, BiangularDetectedWithCanonicalAlpha) {
+  const double radii[] = {1, 1, 1, 1, 1, 1};
+  const Configuration p = biangularSet(6, 0.5, radii, {}, 1.1);
+  std::vector<std::size_t> all{0, 1, 2, 3, 4, 5};
+  const auto info = checkRegularKnownCenter(p, all, {});
+  ASSERT_TRUE(info.has_value());
+  EXPECT_TRUE(info->biangular);
+  EXPECT_EQ(info->rotationalOrder(), 3);
+  EXPECT_NEAR(info->grid.alpha, 0.5, 1e-9);
+  EXPECT_LT(info->grid.alpha, info->grid.beta);
+}
+
+TEST(RegularKnownCenterTest, RejectsSharedRayAndOffGrid) {
+  // Two robots on the same ray from the center.
+  const Configuration p({{1, 0}, {2, 0}, {0, 1}, {-1, 0}});
+  std::vector<std::size_t> all{0, 1, 2, 3};
+  EXPECT_FALSE(checkRegularKnownCenter(p, all, {}).has_value());
+  // Generic asymmetric points.
+  Rng rng(5);
+  const Configuration q = randomConfiguration(6, rng);
+  std::vector<std::size_t> all6{0, 1, 2, 3, 4, 5};
+  EXPECT_FALSE(checkRegularKnownCenter(q, all6, q.sec().center).has_value());
+}
+
+TEST(RegularFreeCenterTest, RecoversOffsetCenter) {
+  const double radii[] = {1.0, 2.0, 1.5, 0.7, 2.4, 1.1, 0.9};
+  const Configuration p = equiangularSet(radii, {5, 3}, 2.2);
+  const auto info = checkRegularFreeCenter(p);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_TRUE(info->wholeConfig);
+  EXPECT_NEAR(info->grid.center.x, 5.0, 1e-7);
+  EXPECT_NEAR(info->grid.center.y, 3.0, 1e-7);
+}
+
+TEST(RegularFreeCenterTest, BiangularWholeConfig) {
+  const double radii[] = {1.3, 2.0, 1.3, 2.0, 1.3, 2.0, 1.3, 2.0};
+  const Configuration p = biangularSet(8, 0.6, radii, {-2, 4}, 0.15);
+  const auto info = checkRegularFreeCenter(p);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_TRUE(info->biangular);
+  EXPECT_NEAR(info->grid.center.x, -2.0, 1e-7);
+  EXPECT_NEAR(info->grid.center.y, 4.0, 1e-7);
+  EXPECT_NEAR(std::min(info->grid.alpha, info->grid.beta), 0.6, 1e-7);
+}
+
+TEST(RegularFreeCenterTest, RejectsGenericConfig) {
+  Rng rng(6);
+  const Configuration p = randomConfiguration(9, rng);
+  EXPECT_FALSE(checkRegularFreeCenter(p).has_value());
+}
+
+TEST(RegularSetOfTest, WholeConfigRegular) {
+  const double radii[] = {1.0, 2.0, 1.5, 0.7, 2.4, 1.1, 0.9};
+  const Configuration p = equiangularSet(radii, {}, 0.0);
+  const auto info = regularSetOf(p);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_TRUE(info->wholeConfig);
+  EXPECT_EQ(info->indices.size(), 7u);
+}
+
+TEST(RegularSetOfTest, TwoConcentricSquaresAreBiangledWhole) {
+  // Outer 4-gon + inner 4-gon rotated: the 8 rays alternate gaps 0.3 and
+  // pi/2 - 0.3, so the WHOLE configuration is a bi-angled 8-point set and
+  // Definition 2 gives reg(P) = P.
+  Configuration p = regularPolygon(4, 2.0, {}, 0.0);
+  const Configuration inner = regularPolygon(4, 1.0, {}, 0.3);
+  for (const Vec2& v : inner.points()) p.push_back(v);
+  const auto info = regularSetOf(p);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_TRUE(info->wholeConfig);
+  EXPECT_TRUE(info->biangular);
+  EXPECT_EQ(info->indices.size(), 8u);
+}
+
+TEST(RegularSetOfTest, ProperSubsetClassOfOctagonPlusSquare) {
+  // 8-gon + inner 4-gon (phases offset): whole config is not regular;
+  // rho(P) = 4, so Property 1 demands a regular set. Definition 2 yields a
+  // view-class of 4 robots forming a square around the center.
+  Configuration p = regularPolygon(8, 2.0, {}, 0.0);
+  const Configuration inner = regularPolygon(4, 1.0, {}, 0.3);
+  for (const Vec2& v : inner.points()) p.push_back(v);
+  ASSERT_FALSE(checkRegularFreeCenter(p).has_value());
+  const auto info = regularSetOf(p);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->wholeConfig);
+  EXPECT_EQ(info->indices.size(), 4u);
+  EXPECT_EQ(info->rotationalOrder(), 4);
+  EXPECT_NEAR(geom::dist(info->grid.center, {}), 0.0, 1e-9);
+}
+
+TEST(RegularSetOfTest, Property1SymmetricConfigsHaveRegularSet) {
+  // Property 1: rho(P) > 1 or axial symmetry implies a regular set exists.
+  Rng rng(21);
+  for (int rho : {2, 3, 4, 5}) {
+    const Configuration p = symmetricConfiguration(rho, 3, rng);
+    EXPECT_TRUE(regularSetOf(p).has_value()) << "rho=" << rho;
+  }
+}
+
+TEST(RegularSetOfTest, GenericAsymmetricConfigHasNone) {
+  Rng rng(22);
+  const Configuration p = randomConfiguration(11, rng);
+  EXPECT_FALSE(regularSetOf(p).has_value());
+}
+
+TEST(RegularSetOfTest, DivisibilityConditionEnforced) {
+  // Inner 3-gon + outer 4-gon: 3 does not divide rho(P/Q)=4... but an inner
+  // triangle with an outer square gives rho(P)=1 overall and the triangle
+  // prefix fails condition (b), so no regular set unless the whole config is
+  // symmetric in a compatible way.
+  Configuration p = regularPolygon(4, 2.0, {}, 0.0);
+  const Configuration inner = regularPolygon(3, 1.0, {}, 0.25);
+  for (const Vec2& v : inner.points()) p.push_back(v);
+  const auto info = regularSetOf(p);
+  // The triangle is 3-regular around the center but 3 does not divide 4.
+  if (info.has_value()) {
+    EXPECT_NE(info->indices.size(), 3u);
+  }
+}
+
+TEST(RegularSetOfTest, CenterOfRegularVsGeneric) {
+  const double radii[] = {1.0, 2.0, 1.5, 0.7, 2.4, 1.1, 0.9};
+  const Configuration reg = equiangularSet(radii, {4, 4}, 0.0);
+  const Vec2 c = centerOf(reg);
+  EXPECT_NEAR(c.x, 4.0, 1e-7);
+  EXPECT_NEAR(c.y, 4.0, 1e-7);
+  Rng rng(23);
+  const Configuration gen = randomConfiguration(8, rng);
+  const Vec2 cg = centerOf(gen);
+  EXPECT_TRUE(geom::nearlyEqual(cg, gen.sec().center));
+}
+
+TEST(RaysTest, AlphaMinOfPolygon) {
+  const Configuration p = regularPolygon(8, 1.0);
+  EXPECT_NEAR(alphaMin(p, {}), kTwoPi / 8, 1e-9);
+  EXPECT_NEAR(alphaMinAt({std::cos(0.1), std::sin(0.1)}, p, {}), 0.1, 1e-9);
+}
+
+TEST(RaysTest, RayDirectionsDeduplicated) {
+  const Configuration p({{1, 0}, {2, 0}, {0, 3}, {0, 1}});
+  const auto dirs = rayDirections(p, {});
+  EXPECT_EQ(dirs.size(), 2u);
+}
+
+TEST(VirtualAxesTest, BiangularAxesBisectGaps) {
+  const double radii[] = {1, 1, 1, 1};
+  const Configuration p = biangularSet(4, 0.7, radii, {}, 0.0);
+  std::vector<std::size_t> all{0, 1, 2, 3};
+  const auto info = checkRegularKnownCenter(p, all, {});
+  ASSERT_TRUE(info.has_value());
+  ASSERT_TRUE(info->biangular);
+  const auto axes = virtualAxes(info->grid);
+  // A bi-angled 4-point set has 2 distinct virtual axes.
+  EXPECT_EQ(axes.size(), 2u);
+  // Every axis is a symmetry axis of the set itself.
+  for (double a : axes) {
+    EXPECT_TRUE(reflectionMapsToSelf(p, info->grid.center, a));
+  }
+}
+
+}  // namespace
+}  // namespace apf::config

@@ -1,0 +1,174 @@
+/// Edge branches of psi_RSB: the handlePartiallyFormedPattern pre-check
+/// (appendix A) and the election interacting with its destination cap.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/generator.h"
+#include "core/phases.h"
+#include "core/rsb.h"
+#include "geom/angle.h"
+#include "io/patterns.h"
+
+namespace apf::core {
+namespace {
+
+using config::Configuration;
+using geom::kPi;
+using geom::kTwoPi;
+using geom::Vec2;
+
+/// Pattern: outer 8-gon (radius 1) + inner 4 points (radius 0.45) on rays
+/// pi/8 + k*pi/2.
+Configuration ringPattern() {
+  Configuration f = config::regularPolygon(8, 1.0, {}, 0.0);
+  for (int k = 0; k < 4; ++k) {
+    const double a = kPi / 8 + k * kPi / 2;
+    f.push_back(Vec2{std::cos(a), std::sin(a)} * 0.45);
+  }
+  return f;
+}
+
+/// P: the outer 8-gon EXACTLY at pattern points; Q = 4 robots on the inner
+/// pattern rays at the given radius.
+Configuration partialConfig(double qRadius) {
+  Configuration p = config::regularPolygon(8, 1.0, {}, 0.0);
+  for (int k = 0; k < 4; ++k) {
+    const double a = kPi / 8 + k * kPi / 2;
+    p.push_back(Vec2{std::cos(a), std::sin(a)} * qRadius);
+  }
+  return p;
+}
+
+sim::Snapshot makeSnap(const Configuration& robots,
+                       const Configuration& pattern, std::size_t self) {
+  sim::Snapshot s;
+  s.robots = robots;
+  s.pattern = pattern;
+  s.selfIndex = self;
+  return s;
+}
+
+TEST(RsbPartialTest, PreconditionsHold) {
+  // The crafted configuration has the intended structure: reg(P) = the
+  // inner 4 on the inner pattern rays, complement = the outer pattern ring.
+  const Configuration p = partialConfig(0.7);
+  Analysis a(makeSnap(p, ringPattern(), 0));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(a.regularSet().has_value());
+  EXPECT_FALSE(a.regularSet()->wholeConfig);
+  EXPECT_EQ(a.regularSet()->indices.size(), 4u);
+  for (std::size_t i : a.regularSet()->indices) EXPECT_GE(i, 8u);
+}
+
+TEST(RsbPartialTest, RobotsAboveD1DescendToD1) {
+  // Appendix A case 1: the complement already forms F minus the inner
+  // points, and the Q robots sit above d1 (the enclosing radius of the
+  // remaining pattern points): they are ordered radially down to d1 —
+  // this completes the pattern (handled by the main dispatch afterwards).
+  const Configuration p = partialConfig(0.7);
+  const Configuration f = ringPattern();
+  int movers = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    Analysis a(makeSnap(p, f, i));
+    sched::RandomSource rng(1);
+    const auto act = rsbCompute(a, rng);
+    EXPECT_EQ(rng.bitsConsumed(), 0u) << i << " (no election here)";
+    if (act.isMove()) {
+      ++movers;
+      EXPECT_GE(i, 8u) << "only Q robots may move";
+      EXPECT_EQ(act.phaseTag, kRsbPartial);
+      // Destination: radius d1 = 0.45 on the same ray.
+      EXPECT_NEAR(act.path.end().norm(), 0.45, 1e-6);
+      EXPECT_NEAR(geom::angDist(act.path.end().arg(), a.P()[i].arg()), 0.0,
+                  1e-9);
+    }
+  }
+  EXPECT_EQ(movers, 4);
+}
+
+TEST(RsbPartialTest, ElectionCapBlocksOutwardPastD) {
+  // Appendix A case 3: Q robots below d = (d1 + d2)/2 = 0.45; the election
+  // runs but destinations at or beyond d are suppressed. A robot at 0.42
+  // would step outward to 0.48 >= d: the outward branch must become a
+  // no-op (bit consumed, no movement), while the inward branch still
+  // moves.
+  const Configuration p = partialConfig(0.42);
+  const Configuration f = ringPattern();
+  bool sawInward = false, sawBlockedOutward = false;
+  for (std::uint64_t seed = 1; seed <= 40 && (!sawInward || !sawBlockedOutward);
+       ++seed) {
+    Analysis a(makeSnap(p, f, 8));
+    sched::RandomSource rng(seed);
+    const auto act = rsbCompute(a, rng);
+    ASSERT_EQ(rng.bitsConsumed(), 1u) << "election must be running";
+    if (act.isMove()) {
+      EXPECT_LT(act.path.end().norm(), a.P()[8].norm());
+      sawInward = true;
+    } else {
+      sawBlockedOutward = true;
+    }
+  }
+  EXPECT_TRUE(sawInward);
+  EXPECT_TRUE(sawBlockedOutward);
+}
+
+TEST(RsbPartialTest, NoPartialMatchMeansNormalElection) {
+  // Complement robots NOT matchable onto the pattern's outer points under
+  // any rotation: the pre-check must not fire and the ordinary election
+  // runs (outward moves allowed). Robots: a REGULAR outer 8-gon + the Q
+  // set; pattern: an outer ring with NON-UNIFORM angles.
+  Configuration p = config::regularPolygon(8, 1.0, {}, 0.0);
+  for (int k = 0; k < 4; ++k) {
+    const double a = kPi / 8 + k * kPi / 2;
+    p.push_back(Vec2{std::cos(a), std::sin(a)} * 0.42);
+  }
+  Configuration f;
+  const double ringAngles[] = {0.0, 0.75, 1.6, 2.4, 3.1, 3.9, 4.8, 5.5};
+  for (double a : ringAngles) f.push_back({std::cos(a), std::sin(a)});
+  for (int k = 0; k < 4; ++k) {
+    const double a = kPi / 8 + k * kPi / 2;
+    f.push_back(Vec2{std::cos(a), std::sin(a)} * 0.45);
+  }
+  Analysis probe(makeSnap(p, f, 8));
+  ASSERT_TRUE(probe.regularSet().has_value());
+  bool sawOutward = false;
+  for (std::uint64_t seed = 1; seed <= 40 && !sawOutward; ++seed) {
+    Analysis a(makeSnap(p, f, 8));
+    sched::RandomSource rng(seed);
+    const auto act = rsbCompute(a, rng);
+    if (act.isMove() && act.path.end().norm() > a.P()[8].norm()) {
+      sawOutward = true;
+    }
+  }
+  EXPECT_TRUE(sawOutward) << "outward steps must not be capped here";
+}
+
+TEST(RsbEdgeTest, BiangularWholeConfigElection) {
+  // Two concentric squares = a bi-angled whole-configuration regular set:
+  // the election runs with Q = P and d = infinity; outward steps are
+  // bounded by |r|/7 alone.
+  Configuration p = config::regularPolygon(4, 2.0, {}, 0.0);
+  const Configuration inner = config::regularPolygon(4, 1.0, {}, 0.6);
+  for (const Vec2& v : inner.points()) p.push_back(v);
+  const Configuration f = io::starPattern(8);
+  bool sawOutwardBound = false;
+  for (std::uint64_t seed = 1; seed <= 30 && !sawOutwardBound; ++seed) {
+    Analysis a(makeSnap(p, f, 5));
+    sched::RandomSource rng(seed);
+    const auto act = rsbCompute(a, rng);
+    if (act.isMove()) {
+      const double r0 = a.P()[5].norm();
+      const double r1 = act.path.end().norm();
+      if (r1 > r0) {
+        EXPECT_NEAR(r1 - r0, r0 / 7.0, 1e-9);
+        sawOutwardBound = true;
+      }
+    }
+  }
+  EXPECT_TRUE(sawOutwardBound);
+}
+
+}  // namespace
+}  // namespace apf::core

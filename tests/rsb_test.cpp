@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/generator.h"
+#include "config/shifted.h"
+#include "core/phases.h"
+#include "core/rsb.h"
+#include "geom/angle.h"
+#include "io/patterns.h"
+#include "sim/engine.h"
+
+namespace apf::core {
+namespace {
+
+using config::Configuration;
+using geom::kTwoPi;
+using geom::Vec2;
+
+sim::Snapshot makeSnap(const Configuration& robots,
+                       const Configuration& pattern, std::size_t self) {
+  sim::Snapshot s;
+  s.robots = robots;
+  s.pattern = pattern;
+  s.selfIndex = self;
+  return s;
+}
+
+/// Decision of psi_RSB for robot `self` on configuration p (identity
+/// frame), in NORMALIZED coordinates.
+sim::Action decide(const Configuration& p, const Configuration& f,
+                   std::size_t self, std::uint64_t seed = 1) {
+  Analysis a(makeSnap(p, f, self));
+  EXPECT_TRUE(a.ok());
+  sched::RandomSource rng(seed);
+  return rsbCompute(a, rng);
+}
+
+// ---------------------------------------------------------------- Qc case
+
+TEST(RsbAsymmetricTest, OnlyMaxViewRobotMoves) {
+  config::Rng rng(3);
+  const Configuration p = config::randomConfiguration(9, rng, 1.0, 1e-3);
+  const Configuration f = io::starPattern(9);
+  int movers = 0;
+  std::size_t mover = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const auto act = decide(p, f, i);
+    EXPECT_EQ(act.phaseTag, kRsbAsymmetric);
+    if (act.isMove()) {
+      ++movers;
+      mover = i;
+    }
+  }
+  EXPECT_EQ(movers, 1);
+  // The mover descends: its normalized end radius is smaller.
+  Analysis a(makeSnap(p, f, mover));
+  const auto act = decide(p, f, mover);
+  EXPECT_LT(act.path.end().norm(), a.P()[mover].norm());
+}
+
+TEST(RsbAsymmetricTest, DescentEndsSelected) {
+  // Simulate only the RSB algorithm from a random configuration: it must
+  // reach a selected configuration and stop (no randomness needed, Q^c).
+  config::Rng rng(5);
+  const Configuration start = config::randomConfiguration(8, rng, 4.0, 0.1);
+  RsbOnlyAlgorithm algo;
+  sim::EngineOptions opts;
+  opts.seed = 7;
+  opts.maxEvents = 50000;
+  opts.sched.kind = sched::SchedulerKind::Async;
+  sim::Engine eng(start, io::starPattern(8), algo, opts);
+  const auto res = eng.run();
+  EXPECT_TRUE(res.terminated);
+  EXPECT_EQ(res.metrics.randomBits, 0u);  // purely deterministic path
+  // Final configuration has a selected robot.
+  Analysis a(makeSnap(eng.positions(), io::starPattern(8), 0));
+  EXPECT_TRUE(a.selectedRobot().has_value());
+}
+
+// ------------------------------------------------------------ shifted case
+
+/// Whole-config shifted set (innermost robot rotated by eps * alpha).
+Configuration shiftedConfig(int m, double eps, int* shifted) {
+  std::vector<double> radii(m, 2.0);
+  radii[1] = 1.0;
+  Configuration p = config::equiangularSet(radii, {}, 0.3);
+  p[1] = (p[1]).rotated(eps * kTwoPi / m);
+  *shifted = 1;
+  return p;
+}
+
+TEST(RsbShiftedTest, ShiftDrivenTo18) {
+  int re = -1;
+  const Configuration p = shiftedConfig(8, 0.05, &re);
+  const Configuration f = io::starPattern(8);
+  // Robots other than the shifted one stay; the shifted robot arcs.
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const auto act = decide(p, f, i);
+    EXPECT_EQ(act.phaseTag, kRsbShifted) << i;
+    EXPECT_EQ(act.isMove(), static_cast<int>(i) == re) << i;
+  }
+  const auto act = decide(p, f, re);
+  // End point reaches shift 1/8: angle from the vacant ray = alpha/8.
+  // Angles are measured from the grid center (normalization is translate +
+  // scale only, so angles about that center are preserved; vacant ray 0.3).
+  Analysis a(makeSnap(p, f, re));
+  const double alpha = kTwoPi / 8;
+  const double endAngle =
+      (act.path.end() - a.shiftedSet()->grid.center).arg();
+  // Robot index 1 sits on grid ray 0.3 + alpha; the target shift is
+  // alpha/8 past that vacant ray.
+  EXPECT_NEAR(geom::angDist(endAngle, 0.3 + alpha + alpha / 8), 0.0, 1e-6);
+  // The arc stays on the robot's circle around the grid center.
+  const double r0 = (a.P()[re] - a.shiftedSet()->grid.center).norm();
+  for (double s = 0; s <= act.path.length(); s += act.path.length() / 7) {
+    EXPECT_NEAR((act.path.pointAt(s) - a.shiftedSet()->grid.center).norm(),
+                r0, 1e-9);
+  }
+}
+
+TEST(RsbShiftedTest, OthersDescendAtEighth) {
+  int re = -1;
+  const Configuration p = shiftedConfig(8, 0.125, &re);
+  const Configuration f = io::starPattern(8);
+  int movers = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const auto act = decide(p, f, i);
+    if (static_cast<int>(i) == re) {
+      EXPECT_FALSE(act.isMove()) << "shifted robot must wait";
+      continue;
+    }
+    if (act.isMove()) {
+      ++movers;
+      // Radial descent onto the shifted robot's circle (radius ratio 1/2).
+      Analysis a(makeSnap(p, f, i));
+      const Vec2 c = a.shiftedSet()->grid.center;
+      const double target = (a.P()[re] - c).norm();
+      EXPECT_NEAR((act.path.end() - c).norm(), target, 1e-9);
+      // Direction preserved (radial move).
+      EXPECT_NEAR(geom::angDist((act.path.end() - c).arg(),
+                                (a.P()[i] - c).arg()),
+                  0.0, 1e-9);
+    }
+  }
+  EXPECT_EQ(movers, 7);  // everyone above the circle descends
+}
+
+TEST(RsbShiftedTest, QuarterShiftTriggersDescentToSelected) {
+  int re = -1;
+  Configuration p = shiftedConfig(8, 0.25, &re);
+  // Put the others already on the shifted robot's circle.
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (static_cast<int>(i) != re) p[i] = p[i] * (1.0 / 2.0);
+  }
+  const Configuration f = io::starPattern(8);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const auto act = decide(p, f, i);
+    EXPECT_EQ(act.isMove(), static_cast<int>(i) == re) << i;
+  }
+  const auto act = decide(p, f, re);
+  // The endpoint satisfies the selected predicate.
+  Analysis a(makeSnap(p, f, re));
+  const double endR = act.path.end().norm();
+  EXPECT_LT(endR, a.lF() / 2.0);
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    if (j != static_cast<std::size_t>(re)) {
+      EXPECT_GE(a.P()[j].norm(), 2.0 * endR);
+    }
+  }
+}
+
+TEST(RsbShiftedTest, MidShiftContinuesToEighth) {
+  // Shift between 1/8 and 1/4 while others are still outside: the shifted
+  // robot must move back toward 1/8 (paper: 1/8 < eps < 1/4 case).
+  int re = -1;
+  const Configuration p = shiftedConfig(8, 0.2, &re);
+  const auto act = decide(p, io::starPattern(8), re);
+  ASSERT_TRUE(act.isMove());
+  Analysis a(makeSnap(p, io::starPattern(8), re));
+  const double alpha = kTwoPi / 8;
+  EXPECT_NEAR(
+      geom::angDist((act.path.end() - a.shiftedSet()->grid.center).arg(),
+                    0.3 + alpha + alpha / 8),
+      0.0, 1e-6);
+}
+
+// ----------------------------------------------------------- election case
+
+TEST(RsbElectionTest, OnlyClosestRobotsFlipCoins) {
+  // Two concentric squares: reg(P) = inner class; only the 4 inner robots
+  // (all tied closest) participate in the walk.
+  Configuration p = config::regularPolygon(4, 2.0, {}, 0.0);
+  const Configuration inner = config::regularPolygon(4, 1.0, {}, 0.4);
+  for (const Vec2& v : inner.points()) p.push_back(v);
+  const Configuration f = io::starPattern(8);
+  for (std::size_t i = 0; i < 4; ++i) {
+    sched::RandomSource rng(1);
+    Analysis a(makeSnap(p, f, i));
+    const auto act = rsbCompute(a, rng);
+    EXPECT_EQ(rng.bitsConsumed(), 0u) << "outer robot " << i;
+    EXPECT_FALSE(act.isMove());
+  }
+  for (std::size_t i = 4; i < 8; ++i) {
+    sched::RandomSource rng(1);
+    Analysis a(makeSnap(p, f, i));
+    const auto act = rsbCompute(a, rng);
+    EXPECT_EQ(act.phaseTag, kRsbElection);
+    EXPECT_EQ(rng.bitsConsumed(), 1u) << "inner robot " << i;
+  }
+}
+
+TEST(RsbElectionTest, WalkStepSizesMatchPaper) {
+  Configuration p = config::regularPolygon(4, 2.0, {}, 0.0);
+  const Configuration inner = config::regularPolygon(4, 1.0, {}, 0.4);
+  for (const Vec2& v : inner.points()) p.push_back(v);
+  const Configuration f = io::starPattern(8);
+  // Find seeds that produce the inward and outward choice for robot 4.
+  bool sawIn = false, sawOut = false;
+  for (std::uint64_t seed = 1; seed < 30 && (!sawIn || !sawOut); ++seed) {
+    sched::RandomSource rng(seed);
+    Analysis a(makeSnap(p, f, 4));
+    const auto act = rsbCompute(a, rng);
+    if (!act.isMove()) continue;
+    const double r0 = a.P()[4].norm();
+    const double r1 = act.path.end().norm();
+    if (r1 < r0) {
+      // Inward: exactly |r|/8.
+      EXPECT_NEAR(r0 - r1, r0 / 8.0, 1e-9);
+      sawIn = true;
+    } else {
+      // Outward: min((d - |r|)/2, |r|/7), d = outer class radius.
+      const double d = a.P()[0].norm();
+      EXPECT_NEAR(r1 - r0, std::min(0.5 * (d - r0), r0 / 7.0), 1e-9);
+      sawOut = true;
+    }
+  }
+  EXPECT_TRUE(sawIn);
+  EXPECT_TRUE(sawOut);
+}
+
+TEST(RsbElectionTest, ElectedRobotStartsShift) {
+  // One inner robot strictly below 7/8 of the others: it is elected and
+  // must arc on its circle (creating a shifted set), not walk radially.
+  Configuration p = config::regularPolygon(4, 2.0, {}, 0.0);
+  Configuration inner = config::regularPolygon(4, 1.0, {}, 0.4);
+  inner[2] = inner[2] * 0.8;  // 0.8 < 7/8
+  for (const Vec2& v : inner.points()) p.push_back(v);
+  const Configuration f = io::starPattern(8);
+  sched::RandomSource rng(1);
+  Analysis a(makeSnap(p, f, 6));
+  const auto act = rsbCompute(a, rng);
+  ASSERT_TRUE(act.isMove());
+  EXPECT_EQ(rng.bitsConsumed(), 0u);  // deterministic once elected
+  // Arc: endpoint keeps its radius.
+  EXPECT_NEAR(act.path.end().norm(), a.P()[6].norm(), 1e-9);
+  // And the angle moved by alphamin / 8 toward a neighbor ray.
+  EXPECT_GT(geom::angDist(act.path.end().arg(), a.P()[6].arg()), 1e-9);
+}
+
+TEST(RsbElectionTest, ElectionTerminatesWithProbabilityOne) {
+  // Lemma 1/2 empirically: from symmetric configurations, psi_RSB reaches a
+  // selected configuration for every seed tried.
+  for (int rho : {2, 4}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      config::Rng rng(seed);
+      const Configuration start =
+          config::symmetricConfiguration(rho, 2, rng);
+      RsbOnlyAlgorithm algo;
+      sim::EngineOptions opts;
+      opts.seed = seed * 101;
+      opts.maxEvents = 200000;
+      opts.sched.kind = sched::SchedulerKind::Async;
+      sim::Engine eng(start, io::starPattern(start.size()), algo, opts);
+      const auto res = eng.run();
+      EXPECT_TRUE(res.terminated) << "rho=" << rho << " seed=" << seed;
+      EXPECT_GT(res.metrics.randomBits, 0u);
+      Analysis a(makeSnap(eng.positions(), io::starPattern(start.size()), 0));
+      EXPECT_TRUE(a.selectedRobot().has_value())
+          << "rho=" << rho << " seed=" << seed;
+    }
+  }
+}
+
+TEST(RsbElectionTest, OneBitPerElectionActivation) {
+  // The headline claim: during the election, each robot consumes at most
+  // one bit per cycle. Engine accounting: randomBits <= cycles always.
+  config::Rng rng(11);
+  const Configuration start = config::symmetricConfiguration(4, 2, rng);
+  RsbOnlyAlgorithm algo;
+  sim::EngineOptions opts;
+  opts.seed = 13;
+  opts.maxEvents = 100000;
+  opts.sched.kind = sched::SchedulerKind::SSync;
+  sim::Engine eng(start, io::starPattern(start.size()), algo, opts);
+  const auto res = eng.run();
+  EXPECT_TRUE(res.terminated);
+  EXPECT_LE(res.metrics.randomBits, res.metrics.cycles);
+}
+
+}  // namespace
+}  // namespace apf::core

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "config/generator.h"
+#include "config/similarity.h"
+#include "core/combination.h"
+#include "core/scattering.h"
+#include "io/patterns.h"
+#include "sim/engine.h"
+
+namespace apf::core {
+namespace {
+
+using config::Configuration;
+using geom::Vec2;
+
+/// Start with several multiplicity points.
+Configuration clusteredStart(std::size_t n, std::uint64_t seed) {
+  config::Rng rng(seed);
+  const std::size_t spots = n / 3 + 2;
+  const Configuration anchors =
+      config::randomConfiguration(spots, rng, 3.0, 0.5);
+  Configuration out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(anchors[i % spots]);
+  }
+  return out;
+}
+
+TEST(ScatterTest, RequiresMultiplicityDetection) {
+  ScatterAlgorithm scatter;
+  const Configuration p = clusteredStart(9, 1);
+  const auto rep = probeActivity(scatter, p, io::starPattern(9),
+                                 /*multiplicityDetection=*/false);
+  EXPECT_FALSE(rep.active());
+}
+
+TEST(ScatterTest, ActiveExactlyOnMultiplicityConfigs) {
+  ScatterAlgorithm scatter;
+  const Configuration clustered = clusteredStart(9, 2);
+  EXPECT_TRUE(probeActivity(scatter, clustered, io::starPattern(9), true)
+                  .active());
+  config::Rng rng(3);
+  const Configuration spread = config::randomConfiguration(9, rng);
+  EXPECT_FALSE(probeActivity(scatter, spread, io::starPattern(9), true)
+                   .active());
+}
+
+TEST(ScatterTest, EliminatesMultiplicityUnderSsync) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ScatterAlgorithm scatter;
+    const Configuration start = clusteredStart(9, seed);
+    sim::EngineOptions opts;
+    opts.seed = seed * 3 + 1;
+    opts.maxEvents = 100000;
+    opts.multiplicityDetection = true;
+    opts.sched.kind = sched::SchedulerKind::SSync;
+    sim::Engine eng(start, io::starPattern(9), scatter, opts);
+    const auto res = eng.run();
+    EXPECT_TRUE(res.terminated) << "seed " << seed;
+    EXPECT_FALSE(eng.positions().hasMultiplicity()) << "seed " << seed;
+    EXPECT_GT(res.metrics.randomBits, 0u);
+    // One bit per cycle at most.
+    EXPECT_LE(res.metrics.randomBits, res.metrics.cycles);
+  }
+}
+
+TEST(ScatterTest, StepNeverCreatesNewCollision) {
+  // Property: along scattering executions, the number of DISTINCT occupied
+  // points never decreases.
+  ScatterAlgorithm scatter;
+  const Configuration start = clusteredStart(12, 9);
+  sim::EngineOptions opts;
+  opts.seed = 17;
+  opts.maxEvents = 100000;
+  opts.multiplicityDetection = true;
+  opts.sched.kind = sched::SchedulerKind::SSync;
+  sim::Engine eng(start, io::starPattern(12), scatter, opts);
+  std::size_t distinct = start.grouped().size();
+  bool monotone = true;
+  eng.setObserver([&](const sim::Engine& e, std::size_t) {
+    const std::size_t now = e.positions().grouped().size();
+    if (now < distinct) monotone = false;
+    distinct = now;
+  });
+  eng.run();
+  EXPECT_TRUE(monotone);
+}
+
+TEST(ScatterThenFormTest, FormsPatternFromClusteredStart) {
+  // The paper's §5 composition: SSYNC scattering, then full formation.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ScatterThenForm algo;
+    const Configuration start = clusteredStart(9, 20 + seed);
+    const Configuration pattern = io::randomPatternByName(9, 50 + seed);
+    sim::EngineOptions opts;
+    opts.seed = seed * 13 + 5;
+    opts.maxEvents = 600000;
+    opts.multiplicityDetection = true;
+    opts.sched.kind = sched::SchedulerKind::SSync;
+    sim::Engine eng(start, pattern, algo, opts);
+    const auto res = eng.run();
+    EXPECT_TRUE(res.terminated) << "seed " << seed;
+    EXPECT_TRUE(res.success) << "seed " << seed;
+  }
+}
+
+TEST(ScatterThenFormTest, HandoffActiveSetsDisjoint) {
+  // scatter active <=> multiplicity present; form consulted otherwise.
+  ScatterThenForm algo;
+  const Configuration clustered = clusteredStart(9, 31);
+  const auto repC = probeActivity(algo, clustered, io::starPattern(9), true);
+  EXPECT_TRUE(repC.active());
+  config::Rng rng(32);
+  const Configuration spread = config::randomConfiguration(9, rng);
+  const auto repS = probeActivity(algo, spread, io::starPattern(9), true);
+  EXPECT_TRUE(repS.active());  // formation takes over (pattern not formed)
+  // And on the formed pattern: globally empty.
+  const Configuration f = io::starPattern(9);
+  EXPECT_FALSE(probeActivity(algo, f, f, true).active());
+}
+
+}  // namespace
+}  // namespace apf::core

@@ -1,0 +1,129 @@
+/// Tests of the SCRIPTED adversary: exact construction of the ASYNC model's
+/// nastiest behaviours — stale snapshots, interleaved partial moves —
+/// without relying on random schedules to stumble into them.
+
+#include <gtest/gtest.h>
+
+#include "config/generator.h"
+#include "core/phases.h"
+#include "geom/angle.h"
+#include "sim/engine.h"
+
+namespace apf::sim {
+namespace {
+
+using config::Configuration;
+using geom::Vec2;
+using Op = sched::ScriptedEvent::Op;
+
+/// Walks straight toward the farthest observed robot, half the distance.
+class ChaseFarthest : public Algorithm {
+ public:
+  Action compute(const Snapshot& snap, sched::RandomSource&) const override {
+    double best = -1;
+    Vec2 target{};
+    for (const auto& q : snap.robots.points()) {
+      if (q.norm() > best) {
+        best = q.norm();
+        target = q;
+      }
+    }
+    geom::Path p{Vec2{}};
+    if (best > 1e-9) p.lineTo(target * 0.5);
+    return Action{p, core::kBaseline};
+  }
+  std::string name() const override { return "chase"; }
+};
+
+TEST(ScriptedTest, StaleSnapshotRaceReproducedExactly) {
+  // Robot 1 Looks; robot 0 then does a full cycle and MOVES; robot 1 now
+  // Computes on its STALE snapshot: its destination must be based on robot
+  // 0's OLD position.
+  const Configuration start({{0, 0}, {10, 0}});
+  ChaseFarthest algo;
+  EngineOptions opts;
+  opts.sched.kind = sched::SchedulerKind::Scripted;
+  opts.sched.delta = 0.01;
+  opts.randomizeFrames = false;  // world == local: assert absolute targets
+  opts.maxEvents = 6;
+  opts.script = {
+      {1, Op::Look, 0},     // robot 1 observes robot 0 at (0,0)... itself
+      {0, Op::Look, 0},     // robot 0 observes robot 1 at (10,0)
+      {0, Op::Compute, 0},  // robot 0 heads to (5,0)
+      {0, Op::Move, 0},     // robot 0 arrives at (5,0)
+      {1, Op::Compute, 0},  // robot 1 computes on the STALE view
+      {1, Op::Move, 0},     // and moves accordingly
+  };
+  Engine eng(start, start, algo, opts);
+  while (eng.metrics().events < 6 && eng.step()) {
+  }
+  // Robot 0 moved from (0,0) halfway to (10,0).
+  EXPECT_NEAR(eng.positions()[0].x, 5.0, 1e-9);
+  // Robot 1's stale view still had robot 0 at (0,0): farthest point in ITS
+  // local frame (origin at itself) was robot 0 at (-10, 0) -> target
+  // (-5, 0) local = (5, 0) world. Had it seen the fresh configuration
+  // (robot 0 at (5,0), i.e. (-5,0) local), it would have moved to (7.5, 0).
+  EXPECT_NEAR(eng.positions()[1].x, 5.0, 1e-9);
+}
+
+TEST(ScriptedTest, PartialMoveDistancesHonoured) {
+  const Configuration start({{0, 0}, {10, 0}});
+  ChaseFarthest algo;
+  EngineOptions opts;
+  opts.sched.kind = sched::SchedulerKind::Scripted;
+  opts.sched.delta = 0.5;
+  opts.randomizeFrames = false;
+  opts.maxEvents = 5;
+  opts.script = {
+      {0, Op::Look, 0},
+      {0, Op::Compute, 0},   // path: (0,0) -> (5,0), length 5
+      {0, Op::Move, 1.0},    // advance exactly 1.0
+      {0, Op::Move, 0.2},    // below delta: clamped up to 0.5
+      {0, Op::Move, 100.0},  // clamped down to the remainder (3.5)
+  };
+  Engine eng(start, start, algo, opts);
+  while (eng.metrics().events < 5 && eng.step()) {
+  }
+  EXPECT_NEAR(eng.positions()[0].x, 5.0, 1e-9);
+  EXPECT_NEAR(eng.metrics().distance, 5.0, 1e-9);
+  EXPECT_EQ(eng.metrics().cycles, 1u);
+}
+
+TEST(ScriptedTest, InvalidEventsAreSkippedSafely) {
+  const Configuration start({{0, 0}, {10, 0}});
+  ChaseFarthest algo;
+  EngineOptions opts;
+  opts.sched.kind = sched::SchedulerKind::Scripted;
+  opts.randomizeFrames = false;
+  opts.maxEvents = 4;
+  opts.script = {
+      {0, Op::Move, 0},     // no path yet: skipped
+      {0, Op::Compute, 0},  // not Observed: skipped
+      {7, Op::Look, 0},     // no such robot: skipped
+      {0, Op::Look, 0},     // finally valid
+  };
+  Engine eng(start, start, algo, opts);
+  while (eng.metrics().events < 4 && eng.step()) {
+  }
+  EXPECT_EQ(eng.positions()[0], (Vec2{0, 0}));  // nothing moved
+}
+
+TEST(ScriptedTest, FallsBackToAsyncWhenExhausted) {
+  const Configuration start({{0, 0}, {10, 0}});
+  ChaseFarthest algo;
+  EngineOptions opts;
+  opts.sched.kind = sched::SchedulerKind::Scripted;
+  opts.randomizeFrames = false;
+  opts.seed = 4;
+  opts.maxEvents = 200;
+  opts.script = {{0, Op::Look, 0}};  // one event, then ASYNC takes over
+  Engine eng(start, start, algo, opts);
+  eng.run();
+  // The ASYNC fallback must have kept executing events far beyond the
+  // one-event script (the chase converges geometrically, then quiesces).
+  EXPECT_GT(eng.metrics().events, 10u);
+  EXPECT_GT(eng.metrics().distance, 0.0);
+}
+
+}  // namespace
+}  // namespace apf::sim

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/generator.h"
+#include "config/shifted.h"
+#include "geom/angle.h"
+
+namespace apf::config {
+namespace {
+
+using geom::kTwoPi;
+using geom::Vec2;
+
+/// Builds a whole-configuration shifted set: an equiangular m-set with the
+/// innermost robot rotated around the center by eps * alpha (alphamin(P') is
+/// alpha for equiangular whole configs).
+Configuration makeShiftedEquiangular(int m, double eps, Vec2 center,
+                                     double phase, int* shiftedIdx) {
+  std::vector<double> radii(m, 2.0);
+  radii[2] = 1.0;  // robot 2 is the unique innermost robot
+  Configuration p = equiangularSet(radii, center, phase);
+  const double alpha = kTwoPi / m;
+  const Vec2 d = p[2] - center;
+  p[2] = center + d.rotated(eps * alpha);
+  *shiftedIdx = 2;
+  return p;
+}
+
+TEST(ShiftedTest, WholeConfigShiftDetected) {
+  for (int m : {7, 9, 12}) {
+    int idx = -1;
+    const Configuration p =
+        makeShiftedEquiangular(m, 0.125, {3, -2}, 0.8, &idx);
+    const auto info = shiftedRegularSetOf(p);
+    ASSERT_TRUE(info.has_value()) << "m=" << m;
+    EXPECT_EQ(static_cast<int>(info->shiftedRobot), idx);
+    EXPECT_NEAR(info->epsilon, 0.125, 1e-6);
+    EXPECT_TRUE(info->wholeConfig);
+    EXPECT_NEAR(info->grid.center.x, 3.0, 1e-6);
+    EXPECT_NEAR(info->grid.center.y, -2.0, 1e-6);
+  }
+}
+
+TEST(ShiftedTest, QuarterShiftDetected) {
+  int idx = -1;
+  const Configuration p = makeShiftedEquiangular(8, 0.25, {}, 0.1, &idx);
+  const auto info = shiftedRegularSetOf(p);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_NEAR(info->epsilon, 0.25, 1e-6);
+}
+
+TEST(ShiftedTest, OverQuarterShiftRejected) {
+  int idx = -1;
+  const Configuration p = makeShiftedEquiangular(8, 0.35, {}, 0.1, &idx);
+  EXPECT_FALSE(shiftedRegularSetOf(p).has_value());
+}
+
+TEST(ShiftedTest, UnshiftedRegularRejected) {
+  const double radii[] = {2, 2, 1, 2, 2, 2, 2};
+  const Configuration p = equiangularSet(radii, {}, 0.3);
+  EXPECT_FALSE(shiftedRegularSetOf(p).has_value());
+}
+
+TEST(ShiftedTest, GenericConfigRejected) {
+  Rng rng(31);
+  const Configuration p = randomConfiguration(9, rng);
+  EXPECT_FALSE(shiftedRegularSetOf(p).has_value());
+}
+
+TEST(ShiftedTest, SubsetShiftDetected) {
+  // Outer 6-gon on the SEC, inner 3-gon as reg(P) (3 divides 6), with one
+  // inner robot moved inward (unique innermost) and rotated by eps*alpha.
+  Configuration p = regularPolygon(6, 3.0, {}, 0.0);
+  Configuration inner = regularPolygon(3, 1.0, {}, 0.21);
+  // alphamin(P') is the minimum over ALL rays of P' (hexagon + triangle):
+  // the 0.21 offset between a hexagon ray and a triangle ray. The legal
+  // shift is at most a quarter of that.
+  const double alphaMinPPrime = 0.21;
+  const double shift = 0.2 * alphaMinPPrime;
+  // Robot 0 of the inner triangle: pull to radius 0.8 (unique innermost)
+  // and rotate by the shift TOWARD its nearest ray (the hexagon ray at
+  // angle 0): condition (b) requires the shift to decrease the robot's
+  // minimum angle with the other robots.
+  inner[0] = Vec2{0.8 * std::cos(0.21 - shift), 0.8 * std::sin(0.21 - shift)};
+  for (const Vec2& v : inner.points()) p.push_back(v);
+  const auto info = shiftedRegularSetOf(p);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->shiftedRobot, 6u);  // first inner robot
+  EXPECT_FALSE(info->wholeConfig);
+  EXPECT_EQ(info->indices.size(), 3u);
+  EXPECT_NEAR(info->alphaMinPPrime, alphaMinPPrime, 1e-9);
+  EXPECT_NEAR(info->epsilon, 0.2, 1e-6);
+}
+
+TEST(ShiftedTest, ShiftedRobotInsideItsCircleStillDetected) {
+  // After election the shifted robot moves radially inward (still on its
+  // ray): detection must keep recognizing the shifted set (Property 2, M3).
+  int idx = -1;
+  Configuration p = makeShiftedEquiangular(9, 0.25, {}, 0.5, &idx);
+  const Vec2 d = p[idx];
+  p[idx] = d * 0.5;  // halve the radius, same direction
+  const auto info = shiftedRegularSetOf(p);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(static_cast<int>(info->shiftedRobot), idx);
+  EXPECT_NEAR(info->epsilon, 0.25, 1e-6);
+}
+
+TEST(ShiftedTest, BiangularWholeConfigShiftDetected) {
+  const int m = 8;
+  std::vector<double> radii(m, 2.0);
+  radii[4] = 1.2;
+  Configuration p = biangularSet(m, 0.5, radii, {1, 1}, 0.9);
+  // alphamin(P') = min(alpha, beta) = 0.5; shift robot 4 by eps * 0.5.
+  const double eps = 0.2;
+  p[4] = Vec2{1, 1} + (p[4] - Vec2{1, 1}).rotated(eps * 0.5);
+  const auto info = shiftedRegularSetOf(p);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->shiftedRobot, 4u);
+  EXPECT_TRUE(info->biangular);
+  EXPECT_NEAR(info->epsilon, eps, 1e-5);
+}
+
+TEST(ShiftedTest, Theorem1UniquenessAcrossCandidates) {
+  // Theorem 1: for n >= 7 the shifted set is unique; the detector must
+  // return the same answer regardless of robot ordering.
+  int idx = -1;
+  Configuration p = makeShiftedEquiangular(10, 0.125, {}, 1.7, &idx);
+  const auto a = shiftedRegularSetOf(p);
+  ASSERT_TRUE(a.has_value());
+  // Reverse the robot order and re-detect.
+  std::vector<Vec2> rev(p.points().rbegin(), p.points().rend());
+  const Configuration q{std::move(rev)};
+  const auto b = shiftedRegularSetOf(q);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->shiftedRobot + b->shiftedRobot, p.size() - 1);
+  EXPECT_NEAR(a->epsilon, b->epsilon, 1e-9);
+}
+
+}  // namespace
+}  // namespace apf::config

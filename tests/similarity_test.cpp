@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/generator.h"
+#include "config/similarity.h"
+#include "geom/angle.h"
+
+namespace apf::config {
+namespace {
+
+using geom::Similarity;
+using geom::Vec2;
+
+TEST(SimilarityRelationTest, IdentityAndTransformsMatch) {
+  Rng rng(41);
+  const Configuration p = randomConfiguration(9, rng);
+  EXPECT_TRUE(similar(p, p));
+  const Similarity t(0.7, 2.5, false, {3, -8});
+  EXPECT_TRUE(similar(p, p.transformed(t)));
+  const Similarity m(1.9, 0.4, true, {-1, 2});
+  EXPECT_TRUE(similar(p, p.transformed(m)));
+}
+
+TEST(SimilarityRelationTest, ReflectionControlledByFlag) {
+  // A chiral configuration: reflection produces a non-congruent layout.
+  const Configuration p({{1, 0}, {0, 2}, {-1.5, 0}, {0.2, 0.3}, {0.9, 1.1}});
+  const Configuration mirrored = p.transformed(Similarity::mirrorX());
+  EXPECT_TRUE(similar(p, mirrored));
+  EXPECT_FALSE(findSimilarity(p, mirrored, /*allowReflection=*/false)
+                   .has_value());
+}
+
+TEST(SimilarityRelationTest, DifferentConfigsRejected) {
+  Rng rng(42);
+  const Configuration p = randomConfiguration(8, rng);
+  const Configuration q = randomConfiguration(8, rng);
+  EXPECT_FALSE(similar(p, q));
+  const Configuration shorter = randomConfiguration(7, rng);
+  EXPECT_FALSE(similar(p, shorter));
+}
+
+TEST(SimilarityRelationTest, ReturnedTransformMapsAOntoB) {
+  Rng rng(43);
+  const Configuration p = randomConfiguration(10, rng);
+  const Similarity t(2.2, 0.8, true, {5, 5});
+  const Configuration q = p.transformed(t);
+  const auto found = findSimilarity(p, q);
+  ASSERT_TRUE(found.has_value());
+  const Configuration mapped = p.transformed(*found);
+  EXPECT_TRUE(coincident(mapped, q, Tol{1e-6, 1e-6}));
+}
+
+TEST(SimilarityRelationTest, MultiplicityRespected) {
+  const Configuration a({{1, 0}, {1, 0}, {-1, 0}});
+  const Configuration b({{2, 0}, {-2, 0}, {-2, 0}});
+  // a has multiplicity 2 on one end; b on the other: still similar by
+  // rotation by pi.
+  EXPECT_TRUE(similar(a, b));
+  const Configuration c({{2, 0}, {-2, 0}, {0, 0}});
+  EXPECT_FALSE(similar(a, c));
+}
+
+TEST(SimilarityRelationTest, SymmetricPatternManyMatches) {
+  const Configuration square = regularPolygon(4, 1.0);
+  const Configuration rotated = regularPolygon(4, 3.0, {7, 7}, 0.3);
+  EXPECT_TRUE(similar(square, rotated));
+}
+
+TEST(SimilarityRelationTest, DegenerateAllCoincident) {
+  const Configuration a({{1, 1}, {1, 1}, {1, 1}});
+  const Configuration b({{-2, 0}, {-2, 0}, {-2, 0}});
+  EXPECT_TRUE(similar(a, b));
+  const Configuration c({{-2, 0}, {-2, 0}, {0, 0}});
+  EXPECT_FALSE(similar(a, c));
+}
+
+TEST(SimilarityRelationTest, SubpatternCheckUsedByFormPattern) {
+  // The main algorithm checks P - {r} ~ F - {f}: removing matching points
+  // from similar configurations keeps them similar.
+  Rng rng(44);
+  const Configuration f = randomConfiguration(9, rng);
+  const Similarity t(1.0, 2.0, false, {1, 1});
+  const Configuration p = f.transformed(t);
+  EXPECT_TRUE(similar(p.without(3), f.without(3)));
+  EXPECT_FALSE(similar(p.without(3), f.without(4)));
+}
+
+}  // namespace
+}  // namespace apf::config

@@ -1,0 +1,111 @@
+/// Registered medium-size randomized campaign: a compressed version of the
+/// development-time 300-scenario stress sweep, kept fast enough for CI.
+/// Mixes sizes, start classes (random / rotationally symmetric / axially
+/// symmetric / clustered-multiplicity via scattering), schedulers, deltas,
+/// and adversary aggression. Everything must form its pattern.
+
+#include <gtest/gtest.h>
+
+#include "config/generator.h"
+#include "core/form_pattern.h"
+#include "core/scattering.h"
+#include "io/patterns.h"
+#include "sim/engine.h"
+
+namespace apf {
+namespace {
+
+using config::Configuration;
+
+struct Scenario {
+  Configuration start;
+  Configuration pattern;
+  sched::SchedulerKind sched;
+  double delta;
+  double earlyStop;
+  bool multiplicity;
+  bool scatterFirst;
+  std::string label;
+};
+
+Scenario makeScenario(int t) {
+  std::mt19937_64 meta(t * 2654435761u + 99);
+  Scenario s;
+  std::size_t n = 7 + meta() % 8;  // 7..14
+  const int startKind = meta() % 4;
+  config::Rng rng(7000 + t);
+  switch (startKind) {
+    case 0:
+      s.start = config::randomConfiguration(n, rng, 4.0, 0.05);
+      s.label = "random";
+      break;
+    case 1: {
+      const int rings = (n % 2 == 0) ? 2 : 3;
+      const int rho = static_cast<int>(n) / rings;
+      s.start = config::symmetricConfiguration(std::max(rho, 2), rings, rng);
+      n = s.start.size();
+      s.label = "rotational";
+      break;
+    }
+    case 2: {
+      const int pairs = static_cast<int>(n) / 2;
+      s.start = config::axialConfiguration(pairs, n % 2, rng);
+      n = s.start.size();
+      s.label = "axial";
+      break;
+    }
+    default: {
+      // Clustered start: requires scattering first (SSYNC).
+      const std::size_t spots = n / 3 + 2;
+      const Configuration anchors =
+          config::randomConfiguration(spots, rng, 3.0, 0.5);
+      Configuration out;
+      for (std::size_t i = 0; i < n; ++i) out.push_back(anchors[i % spots]);
+      s.start = out;
+      s.scatterFirst = true;
+      s.multiplicity = true;
+      s.label = "clustered";
+      break;
+    }
+  }
+  s.pattern = io::patternByName(io::allPatternNames()[meta() % 6], n,
+                                8000 + t);
+  if (s.scatterFirst) {
+    s.sched = sched::SchedulerKind::SSync;  // scattering is SSYNC-scoped
+  } else {
+    const int k = meta() % 3;
+    s.sched = k == 0   ? sched::SchedulerKind::FSync
+              : k == 1 ? sched::SchedulerKind::SSync
+                       : sched::SchedulerKind::Async;
+  }
+  s.delta = (meta() % 2) ? 0.05 : 0.02;
+  s.earlyStop = (meta() % 2) ? 0.5 : 0.9;
+  return s;
+}
+
+class StressCampaign : public ::testing::TestWithParam<int> {};
+
+TEST_P(StressCampaign, FormsPattern) {
+  const Scenario s = makeScenario(GetParam());
+  core::FormPatternAlgorithm form;
+  core::ScatterThenForm scatterForm;
+  sim::EngineOptions opts;
+  opts.seed = GetParam() * 7919 + 5;
+  opts.maxEvents = 1500000;
+  opts.multiplicityDetection = s.multiplicity;
+  opts.sched.kind = s.sched;
+  opts.sched.delta = s.delta;
+  opts.sched.earlyStopProb = s.earlyStop;
+  const sim::Algorithm& algo =
+      s.scatterFirst ? static_cast<const sim::Algorithm&>(scatterForm)
+                     : static_cast<const sim::Algorithm&>(form);
+  sim::Engine eng(s.start, s.pattern, algo, opts);
+  const auto res = eng.run();
+  EXPECT_TRUE(res.terminated) << s.label << " n=" << s.start.size();
+  EXPECT_TRUE(res.success) << s.label << " n=" << s.start.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixed, StressCampaign, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace apf

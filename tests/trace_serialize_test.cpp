@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "config/generator.h"
+#include "config/similarity.h"
+#include "core/form_pattern.h"
+#include "io/patterns.h"
+#include "io/serialize.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace apf {
+namespace {
+
+using config::Configuration;
+
+TEST(SerializeTest, RoundTripFullPrecision) {
+  config::Rng rng(1);
+  const Configuration c = config::randomConfiguration(9, rng, 3.0, 0.01);
+  std::ostringstream os;
+  io::writeConfiguration(os, c);
+  const Configuration back = io::parseConfiguration(os.str());
+  ASSERT_EQ(back.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(back[i], c[i]) << i;  // bit-exact round trip
+  }
+}
+
+TEST(SerializeTest, CommentsAndBlanksSkipped) {
+  const Configuration c = io::parseConfiguration(
+      "# a pattern\n"
+      "1.5 2.5\n"
+      "\n"
+      "3 4 # trailing comment\n");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], (geom::Vec2{1.5, 2.5}));
+  EXPECT_EQ(c[1], (geom::Vec2{3, 4}));
+}
+
+TEST(SerializeTest, MalformedInputThrows) {
+  EXPECT_THROW(io::parseConfiguration("1.0\n"), std::invalid_argument);
+  EXPECT_THROW(io::parseConfiguration("1 2 3\n"), std::invalid_argument);
+  EXPECT_THROW(io::loadConfiguration("/nonexistent/nope.txt"),
+               std::invalid_argument);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const std::string path = "/tmp/apf_serialize_test.txt";
+  const Configuration c = io::starPattern(7);
+  io::saveConfiguration(path, c);
+  const Configuration back = io::loadConfiguration(path);
+  EXPECT_TRUE(config::coincident(c, back));
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, RecordsEveryPositionChange) {
+  core::FormPatternAlgorithm algo;
+  config::Rng rng(2);
+  const Configuration start = config::randomConfiguration(8, rng, 4.0, 0.1);
+  const Configuration pattern = io::starPattern(8);
+  sim::EngineOptions opts;
+  opts.seed = 3;
+  opts.maxEvents = 300000;
+  opts.sched.kind = sched::SchedulerKind::SSync;
+  sim::Engine eng(start, pattern, algo, opts);
+  sim::Trace trace;
+  trace.attach(eng);
+  const auto res = eng.run();
+  ASSERT_TRUE(res.success);
+  EXPECT_FALSE(trace.steps().empty());
+  // Trails end at the final positions.
+  const auto trails = trace.trails();
+  ASSERT_EQ(trails.size(), start.size());
+  for (std::size_t i = 0; i < trails.size(); ++i) {
+    EXPECT_EQ(trails[i].back(), eng.positions()[i]) << i;
+    EXPECT_EQ(trails[i].front(), start[i]) << i;
+  }
+  // The trace records positions per move event, so its polyline length is
+  // a chord-wise LOWER bound on the engine's arclength metric (arcs are
+  // recorded by endpoints), and should be the bulk of it.
+  double total = 0.0;
+  for (double d : trace.distances()) total += d;
+  EXPECT_LE(total, res.metrics.distance + 1e-6);
+  EXPECT_GE(total, 0.5 * res.metrics.distance);
+  // Events are non-decreasing.
+  for (std::size_t k = 1; k < trace.steps().size(); ++k) {
+    EXPECT_LE(trace.steps()[k - 1].event, trace.steps()[k].event);
+  }
+}
+
+TEST(TraceTest, CsvHasHeaderAndRows) {
+  core::FormPatternAlgorithm algo;
+  config::Rng rng(4);
+  const Configuration start = config::randomConfiguration(7, rng, 3.0, 0.1);
+  sim::EngineOptions opts;
+  opts.seed = 5;
+  opts.maxEvents = 200000;
+  opts.sched.kind = sched::SchedulerKind::FSync;
+  sim::Engine eng(start, io::gridPattern(7), algo, opts);
+  sim::Trace trace;
+  trace.attach(eng);
+  eng.run();
+  const std::string path = "/tmp/apf_trace_test.csv";
+  trace.writeCsv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "event,robot,x,y,phase");
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, trace.steps().size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace apf

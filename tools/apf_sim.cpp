@@ -1,0 +1,238 @@
+/// \file apf_sim.cpp
+/// Command-line simulator: run any of the library's algorithms on a chosen
+/// start/pattern under a chosen adversary, print the run summary, and
+/// optionally dump a trajectory SVG and a trace CSV.
+///
+/// Usage examples:
+///   apf_sim --n 10 --pattern star --sched async --seed 7
+///   apf_sim --start symmetric --pattern random --svg run.svg
+///   apf_sim --algo yy --no-chirality            # watch the baseline fail
+///   apf_sim --start-file my_start.txt --pattern-file my_pattern.txt
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baseline/det_election.h"
+#include "baseline/yy.h"
+#include "config/classify.h"
+#include "config/generator.h"
+#include "core/form_pattern.h"
+#include "core/phases.h"
+#include "core/rsb.h"
+#include "core/scattering.h"
+#include "io/patterns.h"
+#include "io/serialize.h"
+#include "io/svg.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace {
+
+struct Options {
+  std::size_t n = 8;
+  std::string pattern = "star";
+  std::string patternFile;
+  std::string startFile;
+  std::string startKind = "random";  // random | symmetric
+  std::string sched = "async";
+  std::string algo = "form";  // form | rsb | yy | det | scatter-form
+  std::uint64_t seed = 1;
+  double delta = 0.05;
+  std::uint64_t maxEvents = 1000000;
+  bool multiplicity = false;
+  bool commonChirality = false;
+  std::string svgPath;
+  std::string tracePath;
+  bool quiet = false;
+  /// Analyze the start configuration (Definitions 1-3) instead of running.
+  bool analyze = false;
+};
+
+void usage() {
+  std::printf(
+      "apf_sim — LCM robot simulator for probabilistic asynchronous\n"
+      "arbitrary pattern formation (Bramas & Tixeuil, PODC 2016)\n\n"
+      "options:\n"
+      "  --n N              robots (default 8)\n"
+      "  --pattern NAME     polygon|star|grid|spiral|ringcore|random|\n"
+      "                     mult|center-mult (default star)\n"
+      "  --pattern-file F   load pattern points from file ('x y' per line)\n"
+      "  --start KIND       random|symmetric (default random)\n"
+      "  --start-file F     load start points from file\n"
+      "  --sched S          fsync|ssync|async (default async)\n"
+      "  --algo A           form|rsb|yy|det|scatter-form (default form)\n"
+      "  --seed S           RNG seed (default 1)\n"
+      "  --delta D          adversary min-move distance (default 0.05)\n"
+      "  --max-events N     event cap (default 1e6)\n"
+      "  --multiplicity     enable multiplicity detection\n"
+      "  --chirality        give all robots a common chirality\n"
+      "  --svg FILE         write trajectory SVG\n"
+      "  --trace FILE       write trace CSV\n"
+      "  --analyze          classify the start configuration and exit\n"
+      "  --quiet            summary line only\n");
+}
+
+bool parse(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--n") {
+      o.n = std::stoul(next("--n"));
+    } else if (a == "--pattern") {
+      o.pattern = next("--pattern");
+    } else if (a == "--pattern-file") {
+      o.patternFile = next("--pattern-file");
+    } else if (a == "--start") {
+      o.startKind = next("--start");
+    } else if (a == "--start-file") {
+      o.startFile = next("--start-file");
+    } else if (a == "--sched") {
+      o.sched = next("--sched");
+    } else if (a == "--algo") {
+      o.algo = next("--algo");
+    } else if (a == "--seed") {
+      o.seed = std::stoull(next("--seed"));
+    } else if (a == "--delta") {
+      o.delta = std::stod(next("--delta"));
+    } else if (a == "--max-events") {
+      o.maxEvents = std::stoull(next("--max-events"));
+    } else if (a == "--multiplicity") {
+      o.multiplicity = true;
+    } else if (a == "--chirality") {
+      o.commonChirality = true;
+    } else if (a == "--svg") {
+      o.svgPath = next("--svg");
+    } else if (a == "--trace") {
+      o.tracePath = next("--trace");
+    } else if (a == "--quiet") {
+      o.quiet = true;
+    } else if (a == "--analyze") {
+      o.analyze = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace apf;
+  Options o;
+  if (!parse(argc, argv, o)) {
+    usage();
+    return 2;
+  }
+
+  // Pattern.
+  config::Configuration pattern;
+  if (!o.patternFile.empty()) {
+    pattern = io::loadConfiguration(o.patternFile);
+    o.n = pattern.size();
+  } else if (o.pattern == "mult") {
+    pattern = io::multiplicityPattern(o.n);
+    o.multiplicity = true;
+  } else if (o.pattern == "center-mult") {
+    pattern = io::centerMultiplicityPattern(o.n);
+    o.multiplicity = true;
+  } else {
+    pattern = io::patternByName(o.pattern, o.n, o.seed + 1000);
+  }
+
+  // Start.
+  config::Configuration start;
+  if (!o.startFile.empty()) {
+    start = io::loadConfiguration(o.startFile);
+  } else if (o.startKind == "symmetric") {
+    config::Rng rng(o.seed + 7);
+    const int rho = static_cast<int>(o.n) / 2;
+    start = config::symmetricConfiguration(rho > 1 ? rho : 2, 2, rng);
+  } else {
+    config::Rng rng(o.seed + 7);
+    start = config::randomConfiguration(o.n, rng, 5.0, 0.1);
+  }
+  if (o.analyze) {
+    const auto report = config::classify(start);
+    std::printf("%s", report.describe().c_str());
+    return 0;
+  }
+
+  if (start.size() != pattern.size()) {
+    std::fprintf(stderr, "start has %zu robots but pattern has %zu points\n",
+                 start.size(), pattern.size());
+    return 2;
+  }
+
+  // Algorithm.
+  std::unique_ptr<sim::Algorithm> algo;
+  if (o.algo == "form") {
+    algo = std::make_unique<core::FormPatternAlgorithm>();
+  } else if (o.algo == "rsb") {
+    algo = std::make_unique<core::RsbOnlyAlgorithm>();
+  } else if (o.algo == "yy") {
+    algo = std::make_unique<baseline::YYAlgorithm>();
+  } else if (o.algo == "det") {
+    algo = std::make_unique<baseline::DeterministicElection>();
+  } else if (o.algo == "scatter-form") {
+    algo = std::make_unique<core::ScatterThenForm>();
+    o.multiplicity = true;
+  } else {
+    std::fprintf(stderr, "unknown algorithm: %s\n", o.algo.c_str());
+    return 2;
+  }
+
+  sim::EngineOptions opts;
+  opts.seed = o.seed;
+  opts.maxEvents = o.maxEvents;
+  opts.multiplicityDetection = o.multiplicity;
+  opts.commonChirality = o.commonChirality;
+  opts.sched.delta = o.delta;
+  opts.sched.kind = o.sched == "fsync"   ? sched::SchedulerKind::FSync
+                    : o.sched == "ssync" ? sched::SchedulerKind::SSync
+                                         : sched::SchedulerKind::Async;
+
+  sim::Engine engine(start, pattern, *algo, opts);
+  sim::Trace trace;
+  if (!o.svgPath.empty() || !o.tracePath.empty()) trace.attach(engine);
+
+  const sim::RunResult res = engine.run();
+
+  std::printf(
+      "algo=%s n=%zu sched=%s seed=%llu  terminated=%s success=%s  "
+      "cycles=%llu bits=%llu distance=%.2f\n",
+      algo->name().c_str(), start.size(), o.sched.c_str(),
+      static_cast<unsigned long long>(o.seed),
+      res.terminated ? "yes" : "no", res.success ? "yes" : "no",
+      static_cast<unsigned long long>(res.metrics.cycles),
+      static_cast<unsigned long long>(res.metrics.randomBits),
+      res.metrics.distance);
+  if (!o.quiet) {
+    for (const auto& [tag, cnt] : res.metrics.phaseActivations) {
+      std::printf("  %-16s %llu\n", core::phaseName(tag),
+                  static_cast<unsigned long long>(cnt));
+    }
+  }
+
+  if (!o.tracePath.empty()) trace.writeCsv(o.tracePath);
+  if (!o.svgPath.empty()) {
+    io::SvgScene scene;
+    for (auto& t : trace.trails()) scene.addTrail(std::move(t));
+    scene.addLayer({start, "#999", 0.05, true});
+    scene.addLayer({engine.positions(), "#1f77b4", 0.06, false});
+    scene.write(o.svgPath);
+  }
+  return res.success ? 0 : 1;
+}
