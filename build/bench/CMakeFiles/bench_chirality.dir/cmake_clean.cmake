@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chirality.dir/bench_chirality.cpp.o"
+  "CMakeFiles/bench_chirality.dir/bench_chirality.cpp.o.d"
+  "bench_chirality"
+  "bench_chirality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chirality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

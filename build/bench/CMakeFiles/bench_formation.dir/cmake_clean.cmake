@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_formation.dir/bench_formation.cpp.o"
+  "CMakeFiles/bench_formation.dir/bench_formation.cpp.o.d"
+  "bench_formation"
+  "bench_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiplicity.dir/bench_multiplicity.cpp.o"
+  "CMakeFiles/bench_multiplicity.dir/bench_multiplicity.cpp.o.d"
+  "bench_multiplicity"
+  "bench_multiplicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiplicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

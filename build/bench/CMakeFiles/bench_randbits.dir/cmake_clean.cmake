@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_randbits.dir/bench_randbits.cpp.o"
+  "CMakeFiles/bench_randbits.dir/bench_randbits.cpp.o.d"
+  "bench_randbits"
+  "bench_randbits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_randbits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scattering.dir/bench_scattering.cpp.o"
+  "CMakeFiles/bench_scattering.dir/bench_scattering.cpp.o.d"
+  "bench_scattering"
+  "bench_scattering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scattering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animated_run.dir/animated_run.cpp.o"
+  "CMakeFiles/animated_run.dir/animated_run.cpp.o.d"
+  "animated_run"
+  "animated_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animated_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

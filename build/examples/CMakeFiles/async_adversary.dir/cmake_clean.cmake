@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_adversary.dir/async_adversary.cpp.o"
+  "CMakeFiles/async_adversary.dir/async_adversary.cpp.o.d"
+  "async_adversary"
+  "async_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

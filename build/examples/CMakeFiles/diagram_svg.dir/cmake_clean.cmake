@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagram_svg.dir/diagram_svg.cpp.o"
+  "CMakeFiles/diagram_svg.dir/diagram_svg.cpp.o.d"
+  "diagram_svg"
+  "diagram_svg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagram_svg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

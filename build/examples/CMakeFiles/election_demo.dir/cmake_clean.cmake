@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/election_demo.dir/election_demo.cpp.o"
+  "CMakeFiles/election_demo.dir/election_demo.cpp.o.d"
+  "election_demo"
+  "election_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/election_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

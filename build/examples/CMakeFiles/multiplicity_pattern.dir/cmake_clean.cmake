@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplicity_pattern.dir/multiplicity_pattern.cpp.o"
+  "CMakeFiles/multiplicity_pattern.dir/multiplicity_pattern.cpp.o.d"
+  "multiplicity_pattern"
+  "multiplicity_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplicity_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/det_election.cpp" "src/baseline/CMakeFiles/apf_baseline.dir/det_election.cpp.o" "gcc" "src/baseline/CMakeFiles/apf_baseline.dir/det_election.cpp.o.d"
+  "/root/repo/src/baseline/det_formation.cpp" "src/baseline/CMakeFiles/apf_baseline.dir/det_formation.cpp.o" "gcc" "src/baseline/CMakeFiles/apf_baseline.dir/det_formation.cpp.o.d"
+  "/root/repo/src/baseline/yy.cpp" "src/baseline/CMakeFiles/apf_baseline.dir/yy.cpp.o" "gcc" "src/baseline/CMakeFiles/apf_baseline.dir/yy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/apf_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/apf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/apf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/apf_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

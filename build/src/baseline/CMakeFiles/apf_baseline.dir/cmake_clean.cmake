@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_baseline.dir/det_election.cpp.o"
+  "CMakeFiles/apf_baseline.dir/det_election.cpp.o.d"
+  "CMakeFiles/apf_baseline.dir/det_formation.cpp.o"
+  "CMakeFiles/apf_baseline.dir/det_formation.cpp.o.d"
+  "CMakeFiles/apf_baseline.dir/yy.cpp.o"
+  "CMakeFiles/apf_baseline.dir/yy.cpp.o.d"
+  "libapf_baseline.a"
+  "libapf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/canonical.cpp" "src/config/CMakeFiles/apf_config.dir/canonical.cpp.o" "gcc" "src/config/CMakeFiles/apf_config.dir/canonical.cpp.o.d"
+  "/root/repo/src/config/classify.cpp" "src/config/CMakeFiles/apf_config.dir/classify.cpp.o" "gcc" "src/config/CMakeFiles/apf_config.dir/classify.cpp.o.d"
+  "/root/repo/src/config/configuration.cpp" "src/config/CMakeFiles/apf_config.dir/configuration.cpp.o" "gcc" "src/config/CMakeFiles/apf_config.dir/configuration.cpp.o.d"
+  "/root/repo/src/config/generator.cpp" "src/config/CMakeFiles/apf_config.dir/generator.cpp.o" "gcc" "src/config/CMakeFiles/apf_config.dir/generator.cpp.o.d"
+  "/root/repo/src/config/rays.cpp" "src/config/CMakeFiles/apf_config.dir/rays.cpp.o" "gcc" "src/config/CMakeFiles/apf_config.dir/rays.cpp.o.d"
+  "/root/repo/src/config/regular.cpp" "src/config/CMakeFiles/apf_config.dir/regular.cpp.o" "gcc" "src/config/CMakeFiles/apf_config.dir/regular.cpp.o.d"
+  "/root/repo/src/config/shifted.cpp" "src/config/CMakeFiles/apf_config.dir/shifted.cpp.o" "gcc" "src/config/CMakeFiles/apf_config.dir/shifted.cpp.o.d"
+  "/root/repo/src/config/similarity.cpp" "src/config/CMakeFiles/apf_config.dir/similarity.cpp.o" "gcc" "src/config/CMakeFiles/apf_config.dir/similarity.cpp.o.d"
+  "/root/repo/src/config/symmetry.cpp" "src/config/CMakeFiles/apf_config.dir/symmetry.cpp.o" "gcc" "src/config/CMakeFiles/apf_config.dir/symmetry.cpp.o.d"
+  "/root/repo/src/config/view.cpp" "src/config/CMakeFiles/apf_config.dir/view.cpp.o" "gcc" "src/config/CMakeFiles/apf_config.dir/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/apf_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_config.dir/canonical.cpp.o"
+  "CMakeFiles/apf_config.dir/canonical.cpp.o.d"
+  "CMakeFiles/apf_config.dir/classify.cpp.o"
+  "CMakeFiles/apf_config.dir/classify.cpp.o.d"
+  "CMakeFiles/apf_config.dir/configuration.cpp.o"
+  "CMakeFiles/apf_config.dir/configuration.cpp.o.d"
+  "CMakeFiles/apf_config.dir/generator.cpp.o"
+  "CMakeFiles/apf_config.dir/generator.cpp.o.d"
+  "CMakeFiles/apf_config.dir/rays.cpp.o"
+  "CMakeFiles/apf_config.dir/rays.cpp.o.d"
+  "CMakeFiles/apf_config.dir/regular.cpp.o"
+  "CMakeFiles/apf_config.dir/regular.cpp.o.d"
+  "CMakeFiles/apf_config.dir/shifted.cpp.o"
+  "CMakeFiles/apf_config.dir/shifted.cpp.o.d"
+  "CMakeFiles/apf_config.dir/similarity.cpp.o"
+  "CMakeFiles/apf_config.dir/similarity.cpp.o.d"
+  "CMakeFiles/apf_config.dir/symmetry.cpp.o"
+  "CMakeFiles/apf_config.dir/symmetry.cpp.o.d"
+  "CMakeFiles/apf_config.dir/view.cpp.o"
+  "CMakeFiles/apf_config.dir/view.cpp.o.d"
+  "libapf_config.a"
+  "libapf_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/apf_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/apf_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/combination.cpp" "src/core/CMakeFiles/apf_core.dir/combination.cpp.o" "gcc" "src/core/CMakeFiles/apf_core.dir/combination.cpp.o.d"
+  "/root/repo/src/core/dpf.cpp" "src/core/CMakeFiles/apf_core.dir/dpf.cpp.o" "gcc" "src/core/CMakeFiles/apf_core.dir/dpf.cpp.o.d"
+  "/root/repo/src/core/form_pattern.cpp" "src/core/CMakeFiles/apf_core.dir/form_pattern.cpp.o" "gcc" "src/core/CMakeFiles/apf_core.dir/form_pattern.cpp.o.d"
+  "/root/repo/src/core/moves.cpp" "src/core/CMakeFiles/apf_core.dir/moves.cpp.o" "gcc" "src/core/CMakeFiles/apf_core.dir/moves.cpp.o.d"
+  "/root/repo/src/core/multiplicity.cpp" "src/core/CMakeFiles/apf_core.dir/multiplicity.cpp.o" "gcc" "src/core/CMakeFiles/apf_core.dir/multiplicity.cpp.o.d"
+  "/root/repo/src/core/pattern_info.cpp" "src/core/CMakeFiles/apf_core.dir/pattern_info.cpp.o" "gcc" "src/core/CMakeFiles/apf_core.dir/pattern_info.cpp.o.d"
+  "/root/repo/src/core/rsb.cpp" "src/core/CMakeFiles/apf_core.dir/rsb.cpp.o" "gcc" "src/core/CMakeFiles/apf_core.dir/rsb.cpp.o.d"
+  "/root/repo/src/core/scattering.cpp" "src/core/CMakeFiles/apf_core.dir/scattering.cpp.o" "gcc" "src/core/CMakeFiles/apf_core.dir/scattering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/apf_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/apf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/apf_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_core.dir/analysis.cpp.o"
+  "CMakeFiles/apf_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/apf_core.dir/combination.cpp.o"
+  "CMakeFiles/apf_core.dir/combination.cpp.o.d"
+  "CMakeFiles/apf_core.dir/dpf.cpp.o"
+  "CMakeFiles/apf_core.dir/dpf.cpp.o.d"
+  "CMakeFiles/apf_core.dir/form_pattern.cpp.o"
+  "CMakeFiles/apf_core.dir/form_pattern.cpp.o.d"
+  "CMakeFiles/apf_core.dir/moves.cpp.o"
+  "CMakeFiles/apf_core.dir/moves.cpp.o.d"
+  "CMakeFiles/apf_core.dir/multiplicity.cpp.o"
+  "CMakeFiles/apf_core.dir/multiplicity.cpp.o.d"
+  "CMakeFiles/apf_core.dir/pattern_info.cpp.o"
+  "CMakeFiles/apf_core.dir/pattern_info.cpp.o.d"
+  "CMakeFiles/apf_core.dir/rsb.cpp.o"
+  "CMakeFiles/apf_core.dir/rsb.cpp.o.d"
+  "CMakeFiles/apf_core.dir/scattering.cpp.o"
+  "CMakeFiles/apf_core.dir/scattering.cpp.o.d"
+  "libapf_core.a"
+  "libapf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/angle.cpp" "src/geom/CMakeFiles/apf_geom.dir/angle.cpp.o" "gcc" "src/geom/CMakeFiles/apf_geom.dir/angle.cpp.o.d"
+  "/root/repo/src/geom/intersect.cpp" "src/geom/CMakeFiles/apf_geom.dir/intersect.cpp.o" "gcc" "src/geom/CMakeFiles/apf_geom.dir/intersect.cpp.o.d"
+  "/root/repo/src/geom/path.cpp" "src/geom/CMakeFiles/apf_geom.dir/path.cpp.o" "gcc" "src/geom/CMakeFiles/apf_geom.dir/path.cpp.o.d"
+  "/root/repo/src/geom/sec.cpp" "src/geom/CMakeFiles/apf_geom.dir/sec.cpp.o" "gcc" "src/geom/CMakeFiles/apf_geom.dir/sec.cpp.o.d"
+  "/root/repo/src/geom/transform.cpp" "src/geom/CMakeFiles/apf_geom.dir/transform.cpp.o" "gcc" "src/geom/CMakeFiles/apf_geom.dir/transform.cpp.o.d"
+  "/root/repo/src/geom/vec2.cpp" "src/geom/CMakeFiles/apf_geom.dir/vec2.cpp.o" "gcc" "src/geom/CMakeFiles/apf_geom.dir/vec2.cpp.o.d"
+  "/root/repo/src/geom/weber.cpp" "src/geom/CMakeFiles/apf_geom.dir/weber.cpp.o" "gcc" "src/geom/CMakeFiles/apf_geom.dir/weber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

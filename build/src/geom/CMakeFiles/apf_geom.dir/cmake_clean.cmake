@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_geom.dir/angle.cpp.o"
+  "CMakeFiles/apf_geom.dir/angle.cpp.o.d"
+  "CMakeFiles/apf_geom.dir/intersect.cpp.o"
+  "CMakeFiles/apf_geom.dir/intersect.cpp.o.d"
+  "CMakeFiles/apf_geom.dir/path.cpp.o"
+  "CMakeFiles/apf_geom.dir/path.cpp.o.d"
+  "CMakeFiles/apf_geom.dir/sec.cpp.o"
+  "CMakeFiles/apf_geom.dir/sec.cpp.o.d"
+  "CMakeFiles/apf_geom.dir/transform.cpp.o"
+  "CMakeFiles/apf_geom.dir/transform.cpp.o.d"
+  "CMakeFiles/apf_geom.dir/vec2.cpp.o"
+  "CMakeFiles/apf_geom.dir/vec2.cpp.o.d"
+  "CMakeFiles/apf_geom.dir/weber.cpp.o"
+  "CMakeFiles/apf_geom.dir/weber.cpp.o.d"
+  "libapf_geom.a"
+  "libapf_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

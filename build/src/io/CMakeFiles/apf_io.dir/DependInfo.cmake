@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/animation.cpp" "src/io/CMakeFiles/apf_io.dir/animation.cpp.o" "gcc" "src/io/CMakeFiles/apf_io.dir/animation.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/apf_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/apf_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/patterns.cpp" "src/io/CMakeFiles/apf_io.dir/patterns.cpp.o" "gcc" "src/io/CMakeFiles/apf_io.dir/patterns.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/io/CMakeFiles/apf_io.dir/serialize.cpp.o" "gcc" "src/io/CMakeFiles/apf_io.dir/serialize.cpp.o.d"
+  "/root/repo/src/io/svg.cpp" "src/io/CMakeFiles/apf_io.dir/svg.cpp.o" "gcc" "src/io/CMakeFiles/apf_io.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/apf_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/apf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/apf_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_io.dir/animation.cpp.o"
+  "CMakeFiles/apf_io.dir/animation.cpp.o.d"
+  "CMakeFiles/apf_io.dir/csv.cpp.o"
+  "CMakeFiles/apf_io.dir/csv.cpp.o.d"
+  "CMakeFiles/apf_io.dir/patterns.cpp.o"
+  "CMakeFiles/apf_io.dir/patterns.cpp.o.d"
+  "CMakeFiles/apf_io.dir/serialize.cpp.o"
+  "CMakeFiles/apf_io.dir/serialize.cpp.o.d"
+  "CMakeFiles/apf_io.dir/svg.cpp.o"
+  "CMakeFiles/apf_io.dir/svg.cpp.o.d"
+  "libapf_io.a"
+  "libapf_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

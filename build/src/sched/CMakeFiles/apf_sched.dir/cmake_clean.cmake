@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/apf_sched.dir/scheduler.cpp.o.d"
+  "libapf_sched.a"
+  "libapf_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/apf_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/apf_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/fuzzer.cpp" "src/sim/CMakeFiles/apf_sim.dir/fuzzer.cpp.o" "gcc" "src/sim/CMakeFiles/apf_sim.dir/fuzzer.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/apf_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/apf_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/apf_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/apf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/apf_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

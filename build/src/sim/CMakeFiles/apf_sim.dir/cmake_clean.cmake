@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_sim.dir/engine.cpp.o"
+  "CMakeFiles/apf_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/apf_sim.dir/fuzzer.cpp.o"
+  "CMakeFiles/apf_sim.dir/fuzzer.cpp.o.d"
+  "CMakeFiles/apf_sim.dir/trace.cpp.o"
+  "CMakeFiles/apf_sim.dir/trace.cpp.o.d"
+  "libapf_sim.a"
+  "libapf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

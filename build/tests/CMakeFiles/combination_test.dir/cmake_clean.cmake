@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combination_test.dir/combination_test.cpp.o"
+  "CMakeFiles/combination_test.dir/combination_test.cpp.o.d"
+  "combination_test"
+  "combination_test.pdb"
+  "combination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpf_edge_test.dir/dpf_edge_test.cpp.o"
+  "CMakeFiles/dpf_edge_test.dir/dpf_edge_test.cpp.o.d"
+  "dpf_edge_test"
+  "dpf_edge_test.pdb"
+  "dpf_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpf_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

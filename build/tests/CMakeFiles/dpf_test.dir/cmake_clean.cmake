@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpf_test.dir/dpf_test.cpp.o"
+  "CMakeFiles/dpf_test.dir/dpf_test.cpp.o.d"
+  "dpf_test"
+  "dpf_test.pdb"
+  "dpf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

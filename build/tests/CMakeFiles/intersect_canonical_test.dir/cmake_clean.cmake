@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersect_canonical_test.dir/intersect_canonical_test.cpp.o"
+  "CMakeFiles/intersect_canonical_test.dir/intersect_canonical_test.cpp.o.d"
+  "intersect_canonical_test"
+  "intersect_canonical_test.pdb"
+  "intersect_canonical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersect_canonical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

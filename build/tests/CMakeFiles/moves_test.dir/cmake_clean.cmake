@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moves_test.dir/moves_test.cpp.o"
+  "CMakeFiles/moves_test.dir/moves_test.cpp.o.d"
+  "moves_test"
+  "moves_test.pdb"
+  "moves_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moves_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

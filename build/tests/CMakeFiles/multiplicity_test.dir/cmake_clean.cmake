@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplicity_test.dir/multiplicity_test.cpp.o"
+  "CMakeFiles/multiplicity_test.dir/multiplicity_test.cpp.o.d"
+  "multiplicity_test"
+  "multiplicity_test.pdb"
+  "multiplicity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplicity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsb_edge_test.dir/rsb_edge_test.cpp.o"
+  "CMakeFiles/rsb_edge_test.dir/rsb_edge_test.cpp.o.d"
+  "rsb_edge_test"
+  "rsb_edge_test.pdb"
+  "rsb_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsb_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsb_test.dir/rsb_test.cpp.o"
+  "CMakeFiles/rsb_test.dir/rsb_test.cpp.o.d"
+  "rsb_test"
+  "rsb_test.pdb"
+  "rsb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

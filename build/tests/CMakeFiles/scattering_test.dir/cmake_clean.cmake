@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scattering_test.dir/scattering_test.cpp.o"
+  "CMakeFiles/scattering_test.dir/scattering_test.cpp.o.d"
+  "scattering_test"
+  "scattering_test.pdb"
+  "scattering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scattering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scripted_test.dir/scripted_test.cpp.o"
+  "CMakeFiles/scripted_test.dir/scripted_test.cpp.o.d"
+  "scripted_test"
+  "scripted_test.pdb"
+  "scripted_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scripted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

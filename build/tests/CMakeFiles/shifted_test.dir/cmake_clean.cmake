@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shifted_test.dir/shifted_test.cpp.o"
+  "CMakeFiles/shifted_test.dir/shifted_test.cpp.o.d"
+  "shifted_test"
+  "shifted_test.pdb"
+  "shifted_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shifted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_edge_test.dir/view_edge_test.cpp.o"
+  "CMakeFiles/view_edge_test.dir/view_edge_test.cpp.o.d"
+  "view_edge_test"
+  "view_edge_test.pdb"
+  "view_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_symmetry_test.dir/view_symmetry_test.cpp.o"
+  "CMakeFiles/view_symmetry_test.dir/view_symmetry_test.cpp.o.d"
+  "view_symmetry_test"
+  "view_symmetry_test.pdb"
+  "view_symmetry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_symmetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

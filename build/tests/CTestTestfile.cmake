@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/view_symmetry_test[1]_include.cmake")
+include("/root/repo/build/tests/regular_test[1]_include.cmake")
+include("/root/repo/build/tests/shifted_test[1]_include.cmake")
+include("/root/repo/build/tests/similarity_test[1]_include.cmake")
+include("/root/repo/build/tests/moves_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/rsb_test[1]_include.cmake")
+include("/root/repo/build/tests/dpf_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/combination_test[1]_include.cmake")
+include("/root/repo/build/tests/scattering_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/classify_test[1]_include.cmake")
+include("/root/repo/build/tests/dpf_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/view_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/scripted_test[1]_include.cmake")
+include("/root/repo/build/tests/intersect_canonical_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzzer_test[1]_include.cmake")
+include("/root/repo/build/tests/rsb_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/multiplicity_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apf_sim_cli.dir/apf_sim.cpp.o"
+  "CMakeFiles/apf_sim_cli.dir/apf_sim.cpp.o.d"
+  "apf_sim"
+  "apf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apf_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
