@@ -5,9 +5,19 @@
 /// matrices of simulations, aggregate the metrics the paper's claims are
 /// stated in, and print aligned tables (also dumped as CSV next to the
 /// binary's working directory).
+///
+/// Telemetry: when the APF_OBS_DIR environment variable is set, every
+/// simulation run writes a reproducibility manifest
+/// (`<algo>_<sched>_n<n>_<k>.manifest.json`) into that directory, and —
+/// with APF_OBS_EVENTS=1 — a JSONL event log next to it. `apf_report DIR`
+/// then reproduces the CSV numbers from the raw per-run records. Each CSV
+/// table also gets a `<csv>.manifest.json` describing the producing build.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -16,6 +26,8 @@
 #include "config/generator.h"
 #include "io/csv.h"
 #include "io/patterns.h"
+#include "obs/manifest.h"
+#include "obs/recorder.h"
 #include "sim/engine.h"
 
 namespace apf::bench {
@@ -29,7 +41,24 @@ struct RunSpec {
   double activationProb = 0.5;
   bool multiplicity = false;
   bool commonChirality = false;
+  /// Free-form label recorded in the run manifest (e.g. pattern name).
+  std::string label;
 };
+
+/// Telemetry directory from APF_OBS_DIR (nullptr = telemetry off).
+inline const char* obsDir() {
+  static const char* dir = std::getenv("APF_OBS_DIR");
+  return dir;
+}
+
+/// Whether to also write per-run JSONL event logs (APF_OBS_EVENTS=1).
+inline bool obsEvents() {
+  static const bool on = [] {
+    const char* v = std::getenv("APF_OBS_EVENTS");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return on;
+}
 
 inline sim::RunResult runOnce(const config::Configuration& start,
                               const config::Configuration& pattern,
@@ -44,8 +73,34 @@ inline sim::RunResult runOnce(const config::Configuration& start,
   opts.sched.delta = spec.delta;
   opts.sched.earlyStopProb = spec.earlyStopProb;
   opts.sched.activationProb = spec.activationProb;
+
+  const char* dir = obsDir();
+  std::unique_ptr<obs::JsonlRecorder> sink;
+  std::string base;
+  if (dir != nullptr) {
+    static int runCounter = 0;
+    std::filesystem::create_directories(dir);
+    base = std::string(dir) + "/" + algo.name() + "_" +
+           sched::schedulerName(spec.sched) + "_n" +
+           std::to_string(start.size()) + "_" + std::to_string(runCounter++);
+    opts.collectTimings = true;
+    if (obsEvents()) {
+      sink = std::make_unique<obs::JsonlRecorder>(base + ".jsonl");
+      opts.recorder = sink.get();
+    }
+  }
+
   sim::Engine eng(start, pattern, algo, opts);
-  return eng.run();
+  const sim::RunResult res = eng.run();
+
+  if (dir != nullptr) {
+    obs::Manifest m = sim::describeRun(
+        opts, algo.name(), spec.label.empty() ? "(inline points)" : spec.label,
+        start.size());
+    sim::appendResult(m, res);
+    m.write(base + ".manifest.json");
+  }
+  return res;
 }
 
 struct Stats {
@@ -74,8 +129,9 @@ class Table {
   Table(std::string title, std::string csvPath,
         std::vector<std::string> header)
       : title_(std::move(title)),
+        csvPath_(std::move(csvPath)),
         header_(std::move(header)),
-        csv_(csvPath, header_) {}
+        csv_(csvPath_, header_) {}
 
   void row(std::vector<std::string> cells) {
     csv_.row(cells);
@@ -83,6 +139,17 @@ class Table {
   }
 
   void print() const {
+    // A bench's CSV is a run/bench output: give it a manifest so any row
+    // can be traced back to the producing build.
+    if (!csvPath_.empty()) {
+      obs::Manifest m;
+      obs::addBuildInfo(m);
+      m.set("tool", "bench");
+      m.set("title", title_);
+      m.set("csv", csvPath_);
+      m.set("rows", static_cast<std::uint64_t>(rows_.size()));
+      m.write(csvPath_ + ".manifest.json");
+    }
     std::printf("\n== %s ==\n", title_.c_str());
     std::vector<std::size_t> widths(header_.size(), 0);
     auto widen = [&](const std::vector<std::string>& cells) {
@@ -104,6 +171,7 @@ class Table {
 
  private:
   std::string title_;
+  std::string csvPath_;
   std::vector<std::string> header_;
   io::CsvWriter csv_;
   std::vector<std::vector<std::string>> rows_;

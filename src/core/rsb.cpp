@@ -312,17 +312,24 @@ Action regularCase(Analysis& a, const config::RegularSetInfo& reg,
 
   if (inQ && rSelf <= minAll + kTol) {
     // Among the closest robots: flip the single random bit of this cycle.
+    // Every exit below participated in an election round (the bit is
+    // consumed even when geometry forces a stay), so each is flagged for
+    // the telemetry layer.
+    auto elected = [](Action a) {
+      a.electionRound = true;
+      return a;
+    };
     const bool toward = rng.bit();
     if (toward) {
       const double target = rSelf * 7.0 / 8.0;
-      if (target >= partial.cap) return Action::stay(kRsbElection);
-      return Action{radialPath(c, p[self], target), kRsbElection};
+      if (target >= partial.cap) return elected(Action::stay(kRsbElection));
+      return elected(Action{radialPath(c, p[self], target), kRsbElection});
     }
     const double step = std::min(0.5 * (dOut - rSelf), rSelf / 7.0);
-    if (step <= kTol) return Action::stay(kRsbElection);
+    if (step <= kTol) return elected(Action::stay(kRsbElection));
     const double target = rSelf + step;
-    if (target >= partial.cap) return Action::stay(kRsbElection);
-    return Action{radialPath(c, p[self], target), kRsbElection};
+    if (target >= partial.cap) return elected(Action::stay(kRsbElection));
+    return elected(Action{radialPath(c, p[self], target), kRsbElection});
   }
   return Action::stay(kRsbElection);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <limits>
+#include <stdexcept>
 
 namespace apf::io {
 
@@ -52,6 +53,10 @@ void writeAnimation(const std::string& path, const sim::Trace& trace,
   auto Y = [&](double y) { return (maxY - y) * scale; };
 
   std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("writeAnimation: cannot open for write: " +
+                             path);
+  }
   os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opts.widthPx
      << "\" height=\"" << heightPx << "\" viewBox=\"0 0 " << opts.widthPx
      << ' ' << heightPx << "\">\n"
@@ -106,6 +111,10 @@ void writeAnimation(const std::string& path, const sim::Trace& trace,
     os << "</circle>\n";
   }
   os << "</svg>\n";
+  os.flush();
+  if (os.fail()) {
+    throw std::runtime_error("writeAnimation: write failed: " + path);
+  }
 }
 
 }  // namespace apf::io

@@ -1,12 +1,19 @@
 #include "io/csv.h"
 
 #include <iomanip>
+#include <stdexcept>
 
 namespace apf::io {
 
 CsvWriter::CsvWriter(const std::string& path,
-                     const std::vector<std::string>& header) {
-  if (!path.empty()) file_.open(path);
+                     const std::vector<std::string>& header)
+    : path_(path) {
+  if (!path.empty()) {
+    file_.open(path);
+    if (!file_) {
+      throw std::runtime_error("CsvWriter: cannot open for write: " + path);
+    }
+  }
   emit(header);
 }
 
@@ -20,7 +27,12 @@ void CsvWriter::emit(const std::vector<std::string>& cells) {
   }
   line += '\n';
   buffer_ << line;
-  if (file_.is_open()) file_ << line << std::flush;
+  if (file_.is_open()) {
+    file_ << line << std::flush;
+    if (file_.fail()) {
+      throw std::runtime_error("CsvWriter: write failed: " + path_);
+    }
+  }
 }
 
 std::string fmt(double v, int precision) {

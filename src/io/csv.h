@@ -14,10 +14,13 @@ namespace apf::io {
 class CsvWriter {
  public:
   /// Opens `path` for writing and emits the header row. Pass an empty path
-  /// to collect rows in memory only (str()).
+  /// to collect rows in memory only (str()). Throws std::runtime_error if
+  /// the file cannot be opened — experiment data must never be lost
+  /// silently.
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
 
-  /// Appends one row; each cell is already formatted.
+  /// Appends one row; each cell is already formatted. Throws
+  /// std::runtime_error if the underlying write fails.
   void row(const std::vector<std::string>& cells);
 
   /// All emitted content.
@@ -25,6 +28,7 @@ class CsvWriter {
 
  private:
   void emit(const std::vector<std::string>& cells);
+  std::string path_;
   std::ofstream file_;
   std::ostringstream buffer_;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include <stdexcept>
 
 namespace apf::io {
 
@@ -53,6 +54,9 @@ void SvgScene::write(const std::string& path, int widthPx) const {
   auto Y = [&](double y) { return (maxY - y) * scale; };
 
   std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("SvgScene: cannot open for write: " + path);
+  }
   os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << widthPx
      << "\" height=\"" << heightPx << "\" viewBox=\"0 0 " << widthPx << ' '
      << heightPx << "\">\n";
@@ -89,6 +93,8 @@ void SvgScene::write(const std::string& path, int widthPx) const {
     }
   }
   os << "</svg>\n";
+  os.flush();
+  if (os.fail()) throw std::runtime_error("SvgScene: write failed: " + path);
 }
 
 }  // namespace apf::io

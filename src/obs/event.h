@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file event.h
+/// Typed telemetry events emitted by the simulation engine. One Event is a
+/// fixed-size POD so the hot path never allocates; sinks decide how (and
+/// whether) to serialize it.
+///
+/// Event stream contract (enforced by tests/obs_test.cpp):
+///  * a run emits exactly one RunStart (index 0) and one RunEnd (last);
+///  * indexes are dense and strictly increasing;
+///  * one Compute event is emitted per algorithm activation, so the
+///    per-phase Compute counts of a log equal `Metrics::phaseActivations`;
+///  * every ElectionRound is paired with the Compute of the same
+///    activation (same robot, same scheduler event).
+
+#include <cstdint>
+
+namespace apf::obs {
+
+enum class EventKind : std::uint8_t {
+  RunStart,         ///< engine starts executing (robot = -1)
+  Look,             ///< robot captured a snapshot
+  Compute,          ///< robot ran the algorithm on its stored snapshot
+  MoveStep,         ///< robot advanced along its path (possibly partially)
+  CycleComplete,    ///< robot finished a Look-Compute-Move cycle
+  PhaseTransition,  ///< robot's computed phase tag changed
+  ElectionRound,    ///< a Compute flipped the election's random bit
+  RunEnd,           ///< engine finished (robot = -1)
+};
+
+/// Stable wire name (used as the "ev" field of JSONL lines).
+const char* eventKindName(EventKind kind);
+
+struct Event {
+  EventKind kind = EventKind::RunStart;
+  /// Dense per-run log index, starting at 0.
+  std::uint64_t index = 0;
+  /// Nanoseconds since RunStart (steady clock).
+  std::uint64_t wallNanos = 0;
+  /// Robot the event concerns; -1 for run-level events.
+  std::int64_t robot = -1;
+  /// Phase tag (core/phases.h) of the activation; Compute, CycleComplete,
+  /// PhaseTransition, ElectionRound.
+  int phaseTag = 0;
+  /// PhaseTransition only: the tag being left.
+  int phaseFrom = 0;
+  /// Scheduler events processed so far (Metrics::events at emission).
+  std::uint64_t schedEvent = 0;
+  /// Configuration version at emission (bumped on every position change).
+  std::uint64_t configVersion = 0;
+  /// Compute/ElectionRound: algorithm random bits consumed by this
+  /// activation.
+  std::uint64_t bitsUsed = 0;
+  /// Compute: snapshot staleness in configuration versions
+  /// (configVersion at compute minus version captured at Look).
+  std::uint64_t staleness = 0;
+  /// Compute: wall time of the algorithm call (0 unless timing enabled).
+  std::uint64_t durNanos = 0;
+  /// MoveStep: distance advanced by this step; RunEnd: total distance.
+  double distance = 0.0;
+  /// MoveStep: path completed; RunEnd: run succeeded.
+  bool flag = false;
+};
+
+}  // namespace apf::obs

@@ -1,0 +1,261 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace apf::obs {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  // %.17g round-trips doubles; trim to the shortest form that still does.
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void JsonObjectWriter::key(std::string_view k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += jsonEscape(k);
+  body_ += "\":";
+}
+
+void JsonObjectWriter::field(std::string_view k, std::string_view v) {
+  key(k);
+  body_ += '"';
+  body_ += jsonEscape(v);
+  body_ += '"';
+}
+
+void JsonObjectWriter::field(std::string_view k, const char* v) {
+  field(k, std::string_view(v));
+}
+
+void JsonObjectWriter::field(std::string_view k, double v) {
+  key(k);
+  body_ += jsonNumber(v);
+}
+
+void JsonObjectWriter::field(std::string_view k, std::uint64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+}
+
+void JsonObjectWriter::field(std::string_view k, std::int64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+}
+
+void JsonObjectWriter::field(std::string_view k, int v) {
+  field(k, static_cast<std::int64_t>(v));
+}
+
+void JsonObjectWriter::field(std::string_view k, bool v) {
+  key(k);
+  body_ += v ? "true" : "false";
+}
+
+void JsonObjectWriter::rawField(std::string_view k, std::string_view json) {
+  key(k);
+  body_ += json;
+}
+
+std::string JsonObjectWriter::str() const { return "{" + body_ + "}"; }
+
+namespace {
+
+void skipWs(std::string_view s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+}
+
+bool parseString(std::string_view s, std::size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out.clear();
+  while (i < s.size()) {
+    const char c = s[i++];
+    if (c == '"') return true;
+    if (c == '\\') {
+      if (i >= s.size()) return false;
+      const char e = s[i++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (i + 4 > s.size()) return false;
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s[i++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // Telemetry only escapes control characters, so a one-byte
+          // mapping is enough; other code points pass through UTF-8 raw.
+          out += static_cast<char>(code & 0xFF);
+          break;
+        }
+        default:
+          return false;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return false;
+}
+
+bool parseValue(std::string_view s, std::size_t& i, JsonValue& out) {
+  skipWs(s, i);
+  if (i >= s.size()) return false;
+  const char c = s[i];
+  if (c == '"') {
+    out.kind = JsonValue::Kind::String;
+    return parseString(s, i, out.string);
+  }
+  if (c == 't' && s.substr(i, 4) == "true") {
+    out.kind = JsonValue::Kind::Bool;
+    out.boolean = true;
+    i += 4;
+    return true;
+  }
+  if (c == 'f' && s.substr(i, 5) == "false") {
+    out.kind = JsonValue::Kind::Bool;
+    out.boolean = false;
+    i += 5;
+    return true;
+  }
+  if (c == 'n' && s.substr(i, 4) == "null") {
+    out.kind = JsonValue::Kind::Null;
+    i += 4;
+    return true;
+  }
+  if (c == '-' || (c >= '0' && c <= '9')) {
+    std::size_t j = i;
+    while (j < s.size() && (s[j] == '-' || s[j] == '+' || s[j] == '.' ||
+                            s[j] == 'e' || s[j] == 'E' ||
+                            (s[j] >= '0' && s[j] <= '9'))) {
+      ++j;
+    }
+    const std::string tok(s.substr(i, j - i));
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return false;
+    out.kind = JsonValue::Kind::Number;
+    out.number = v;
+    i = j;
+    return true;
+  }
+  return false;  // nested objects/arrays are not part of the dialect
+}
+
+}  // namespace
+
+std::optional<JsonObject> parseFlatObject(std::string_view text) {
+  std::size_t i = 0;
+  skipWs(text, i);
+  if (i >= text.size() || text[i] != '{') return std::nullopt;
+  ++i;
+  JsonObject obj;
+  skipWs(text, i);
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skipWs(text, i);
+      std::string key;
+      if (!parseString(text, i, key)) return std::nullopt;
+      skipWs(text, i);
+      if (i >= text.size() || text[i] != ':') return std::nullopt;
+      ++i;
+      JsonValue value;
+      if (!parseValue(text, i, value)) return std::nullopt;
+      obj[std::move(key)] = std::move(value);
+      skipWs(text, i);
+      if (i >= text.size()) return std::nullopt;
+      if (text[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (text[i] == '}') {
+        ++i;
+        break;
+      }
+      return std::nullopt;
+    }
+  }
+  skipWs(text, i);
+  if (i != text.size()) return std::nullopt;
+  return obj;
+}
+
+}  // namespace apf::obs

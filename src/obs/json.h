@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file json.h
+/// Minimal JSON support for the observability layer: an escaping writer for
+/// single-line (JSONL) objects and a parser for the *flat* objects this
+/// repository emits (string / number / bool values, no nesting). Both ends
+/// of the telemetry pipe — sinks in `recorder.h` / `manifest.h` and the
+/// `apf_report` aggregator — go through this file, so the dialect stays
+/// consistent by construction.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace apf::obs {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+std::string jsonEscape(std::string_view s);
+
+/// Formats a double as a JSON number (shortest round-trip form; never
+/// produces NaN/Inf — those are clamped to 0, JSON has no spelling for
+/// them).
+std::string jsonNumber(double v);
+
+/// Incrementally builds one single-line JSON object.
+class JsonObjectWriter {
+ public:
+  void field(std::string_view key, std::string_view value);  ///< string
+  void field(std::string_view key, const char* value);       ///< string
+  void field(std::string_view key, double value);
+  void field(std::string_view key, std::uint64_t value);
+  void field(std::string_view key, std::int64_t value);
+  void field(std::string_view key, int value);
+  void field(std::string_view key, bool value);
+  /// Value already encoded as JSON (nested object, array, ...).
+  void rawField(std::string_view key, std::string_view json);
+
+  /// Returns `{"k":v,...}`. The writer may keep being appended to.
+  std::string str() const;
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+/// One parsed scalar value of a flat JSON object.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+
+  double asNumber(double fallback = 0.0) const {
+    return kind == Kind::Number ? number : fallback;
+  }
+  std::string asString(const std::string& fallback = "") const {
+    return kind == Kind::String ? string : fallback;
+  }
+  bool asBool(bool fallback = false) const {
+    return kind == Kind::Bool ? boolean : fallback;
+  }
+};
+
+using JsonObject = std::map<std::string, JsonValue, std::less<>>;
+
+/// Parses one flat JSON object (`{"k": <scalar>, ...}`). Nested objects and
+/// arrays are rejected (returns nullopt) — the telemetry dialect is flat on
+/// purpose so every consumer stays trivial.
+std::optional<JsonObject> parseFlatObject(std::string_view text);
+
+}  // namespace apf::obs

@@ -1,0 +1,97 @@
+#include "obs/manifest.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace apf::obs {
+
+void Manifest::put(const std::string& key, std::string encoded) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(encoded);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(encoded));
+}
+
+void Manifest::set(const std::string& key, const std::string& value) {
+  // Built via append rather than operator+ chaining: GCC 12's -Wrestrict
+  // false-fires on the temporary concatenation at -O3 (PR105329).
+  std::string enc;
+  enc.reserve(value.size() + 2);
+  enc += '"';
+  enc += jsonEscape(value);
+  enc += '"';
+  put(key, std::move(enc));
+}
+
+void Manifest::set(const std::string& key, const char* value) {
+  set(key, std::string(value));
+}
+
+void Manifest::set(const std::string& key, double value) {
+  put(key, jsonNumber(value));
+}
+
+void Manifest::set(const std::string& key, std::uint64_t value) {
+  put(key, std::to_string(value));
+}
+
+void Manifest::set(const std::string& key, int value) {
+  put(key, std::to_string(value));
+}
+
+void Manifest::set(const std::string& key, bool value) {
+  put(key, value ? "true" : "false");
+}
+
+const std::string* Manifest::findEncoded(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Manifest::toJson() const {
+  JsonObjectWriter w;
+  for (const auto& [k, v] : entries_) w.rawField(k, v);
+  return w.str();
+}
+
+void Manifest::write(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("Manifest: cannot open for write: " + path);
+  os << toJson() << '\n';
+  os.flush();
+  if (os.fail()) throw std::runtime_error("Manifest: write failed: " + path);
+}
+
+void addBuildInfo(Manifest& m) {
+  m.set("schema", Manifest::kSchemaVersion);
+#if defined(__VERSION__)
+  m.set("build.compiler", __VERSION__);
+#else
+  m.set("build.compiler", "unknown");
+#endif
+  m.set("build.cxx_standard",
+        static_cast<std::uint64_t>(__cplusplus));
+#if defined(NDEBUG)
+  m.set("build.assertions", false);
+#else
+  m.set("build.assertions", true);
+#endif
+}
+
+JsonObject loadFlatJsonFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  auto obj = parseFlatObject(buf.str());
+  if (!obj) throw std::runtime_error("malformed flat JSON: " + path);
+  return *std::move(obj);
+}
+
+}  // namespace apf::obs

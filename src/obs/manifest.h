@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file manifest.h
+/// Run manifests: a flat, ordered key → scalar document written alongside
+/// every run/bench output, capturing *everything needed to reproduce the
+/// run* (seed, full engine + scheduler options, algorithm, pattern, n,
+/// build info) plus the result summary. Serialized as one flat JSON object
+/// so `apf_report` (and any scripting language) can ingest it with the
+/// parser in json.h.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace apf::obs {
+
+class Manifest {
+ public:
+  /// Telemetry schema version; bump when keys change meaning.
+  static constexpr int kSchemaVersion = 1;
+
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, const char* value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::uint64_t value);
+  void set(const std::string& key, int value);
+  void set(const std::string& key, bool value);
+
+  /// Last value set for `key`, or nullptr. Values are returned in their
+  /// JSON encoding (strings include quotes).
+  const std::string* findEncoded(const std::string& key) const;
+
+  /// Single-line JSON object, keys in insertion order.
+  std::string toJson() const;
+
+  /// Writes toJson() + newline; throws std::runtime_error on failure.
+  void write(const std::string& path) const;
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  void put(const std::string& key, std::string encoded);
+  /// key → JSON-encoded value, insertion-ordered; later set() of the same
+  /// key overwrites in place.
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Adds `schema`, compiler, C++ standard, and optimization info under
+/// `build.*` keys. Every manifest producer calls this so logs from
+/// different binaries stay comparable.
+void addBuildInfo(Manifest& manifest);
+
+/// Reads and parses a manifest (or any flat JSON) file; throws
+/// std::runtime_error on open/parse failure.
+JsonObject loadFlatJsonFile(const std::string& path);
+
+}  // namespace apf::obs

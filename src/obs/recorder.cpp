@@ -1,0 +1,107 @@
+#include "obs/recorder.h"
+
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace apf::obs {
+
+const char* eventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::RunStart:
+      return "run_start";
+    case EventKind::Look:
+      return "look";
+    case EventKind::Compute:
+      return "compute";
+    case EventKind::MoveStep:
+      return "move_step";
+    case EventKind::CycleComplete:
+      return "cycle_complete";
+    case EventKind::PhaseTransition:
+      return "phase_transition";
+    case EventKind::ElectionRound:
+      return "election_round";
+    case EventKind::RunEnd:
+      return "run_end";
+  }
+  return "?";
+}
+
+std::string toJsonLine(const Event& e) {
+  JsonObjectWriter w;
+  w.field("ev", eventKindName(e.kind));
+  w.field("i", e.index);
+  w.field("t_ns", e.wallNanos);
+  w.field("sched_ev", e.schedEvent);
+  w.field("cfg", e.configVersion);
+  if (e.robot >= 0) w.field("robot", e.robot);
+  switch (e.kind) {
+    case EventKind::Compute:
+      w.field("phase", e.phaseTag);
+      w.field("bits", e.bitsUsed);
+      w.field("stale", e.staleness);
+      if (e.durNanos != 0) w.field("dur_ns", e.durNanos);
+      break;
+    case EventKind::ElectionRound:
+      w.field("phase", e.phaseTag);
+      w.field("bits", e.bitsUsed);
+      break;
+    case EventKind::CycleComplete:
+      w.field("phase", e.phaseTag);
+      break;
+    case EventKind::PhaseTransition:
+      w.field("phase", e.phaseTag);
+      w.field("phase_from", e.phaseFrom);
+      break;
+    case EventKind::MoveStep:
+      w.field("phase", e.phaseTag);
+      w.field("dist", e.distance);
+      w.field("done", e.flag);
+      break;
+    case EventKind::RunEnd:
+      w.field("dist", e.distance);
+      w.field("success", e.flag);
+      break;
+    case EventKind::RunStart:
+    case EventKind::Look:
+      break;
+  }
+  return w.str();
+}
+
+JsonlRecorder::JsonlRecorder(const std::string& path) : path_(path) {
+  file_.open(path);
+  if (!file_) {
+    throw std::runtime_error("JsonlRecorder: cannot open for write: " + path);
+  }
+  os_ = &file_;
+}
+
+JsonlRecorder::JsonlRecorder(std::ostream& os) : os_(&os) {}
+
+JsonlRecorder::~JsonlRecorder() {
+  // Flush destructor-side so short-lived sinks still land on disk, but
+  // never throw from a destructor.
+  if (os_ != nullptr) os_->flush();
+}
+
+void JsonlRecorder::record(const Event& event) {
+  *os_ << toJsonLine(event) << '\n';
+  if (os_->fail()) {
+    throw std::runtime_error("JsonlRecorder: write failed" +
+                             (path_.empty() ? std::string()
+                                            : ": " + path_));
+  }
+}
+
+void JsonlRecorder::flush() {
+  os_->flush();
+  if (os_->fail()) {
+    throw std::runtime_error("JsonlRecorder: flush failed" +
+                             (path_.empty() ? std::string()
+                                            : ": " + path_));
+  }
+}
+
+}  // namespace apf::obs

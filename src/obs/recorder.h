@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file recorder.h
+/// Event sinks. The engine holds a `Recorder*` that is nullptr by default,
+/// so a disabled run pays exactly one predictable branch per would-be event
+/// and zero allocations; tests assert a null-sink run is bit-identical to
+/// an uninstrumented one.
+///
+/// Sinks provided:
+///  * NullRecorder   — virtual no-op, for call sites that want a non-null
+///                     sink object;
+///  * MemoryRecorder — appends events to a vector (tests, in-process
+///                     analysis);
+///  * JsonlRecorder  — one JSON object per line, the interchange format
+///                     `apf_report` consumes.
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace apf::obs {
+
+class Recorder {
+ public:
+  virtual ~Recorder() = default;
+  virtual void record(const Event& event) = 0;
+  virtual void flush() {}
+};
+
+class NullRecorder final : public Recorder {
+ public:
+  void record(const Event&) override {}
+};
+
+class MemoryRecorder final : public Recorder {
+ public:
+  void record(const Event& event) override { events_.push_back(event); }
+  const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Serializes one event as a single-line JSON object (no trailing newline).
+std::string toJsonLine(const Event& event);
+
+class JsonlRecorder final : public Recorder {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit JsonlRecorder(const std::string& path);
+  /// Writes to an externally owned stream (tests).
+  explicit JsonlRecorder(std::ostream& os);
+  ~JsonlRecorder() override;
+
+  void record(const Event& event) override;
+  void flush() override;
+
+ private:
+  std::ofstream file_;
+  std::ostream* os_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace apf::obs

@@ -1,0 +1,55 @@
+#include "obs/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+namespace apf::obs {
+
+std::uint64_t nowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Histogram::add(std::uint64_t v) {
+  // bit_width(0) == 0, bit_width(1) == 1, bit_width([2^(k-1), 2^k)) == k.
+  const std::size_t k = std::min<std::size_t>(std::bit_width(v),
+                                              kBuckets - 1);
+  buckets_[k] += 1;
+  count_ += 1;
+  sum_ += v;
+  max_ = std::max(max_, v);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t k = 0; k < kBuckets; ++k) buckets_[k] += other.buckets_[k];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t Histogram::bucketUpperBound(std::size_t k) {
+  if (k == 0) return 0;
+  return (std::uint64_t{1} << k) - 1;
+}
+
+std::uint64_t Histogram::quantileUpperBound(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    seen += buckets_[k];
+    if (seen >= target) {
+      // The last bucket is open-ended; report the observed max there.
+      return k == kBuckets - 1 ? max_
+                               : std::min(max_, bucketUpperBound(k));
+    }
+  }
+  return max_;
+}
+
+}  // namespace apf::obs

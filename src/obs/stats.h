@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file stats.h
+/// Counters, wall-time accumulators, and fixed-bucket histograms for the
+/// observability layer, plus a name-keyed Registry. All types are plain
+/// values (copyable, no locks, no allocation on the update path) so they
+/// can live inside `sim::Metrics` and be returned by value with a
+/// `RunResult`.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace apf::obs {
+
+/// Steady-clock nanoseconds (monotonic; origin unspecified).
+std::uint64_t nowNanos();
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Wall-time accumulator: total nanoseconds across `count` timed sections.
+class Timer {
+ public:
+  void add(std::uint64_t nanos) {
+    nanos_ += nanos;
+    count_ += 1;
+  }
+  std::uint64_t nanos() const { return nanos_; }
+  std::uint64_t count() const { return count_; }
+  double meanNanos() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(nanos_) /
+                             static_cast<double>(count_);
+  }
+
+  /// RAII scope: adds the elapsed wall time on destruction.
+  class Scope {
+   public:
+    explicit Scope(Timer& timer) : timer_(timer), start_(nowNanos()) {}
+    ~Scope() { timer_.add(nowNanos() - start_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Timer& timer_;
+    std::uint64_t start_;
+  };
+
+ private:
+  std::uint64_t nanos_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Fixed-bucket histogram of unsigned values with power-of-two bucket
+/// boundaries: bucket 0 counts v == 0, bucket k (k >= 1) counts
+/// v in [2^(k-1), 2^k). Values beyond the last boundary clamp into the
+/// final bucket. Fixed layout means zero configuration, zero allocation,
+/// and mergeable across runs.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 24;
+
+  void add(std::uint64_t v);
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+  std::uint64_t bucket(std::size_t k) const { return buckets_[k]; }
+  /// Inclusive upper bound of bucket k (2^k - 1; 0 for bucket 0).
+  static std::uint64_t bucketUpperBound(std::size_t k);
+  /// Upper bound of the bucket containing quantile q in [0, 1]; this is a
+  /// conservative (over-)estimate given bucket resolution.
+  std::uint64_t quantileUpperBound(double q) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Name-keyed registry of the three instrument types. Instruments are
+/// created on first access and live as long as the registry; iteration is
+/// in lexicographic name order (std::map), which keeps dumps stable.
+class Registry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Timer& timer(const std::string& name) { return timers_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Timer>& timers() const { return timers_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Timer> timers_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace apf::obs

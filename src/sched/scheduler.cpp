@@ -1,5 +1,7 @@
 #include "sched/scheduler.h"
 
+#include "obs/manifest.h"
+
 namespace apf::sched {
 
 const char* schedulerName(SchedulerKind kind) {
@@ -14,6 +16,24 @@ const char* schedulerName(SchedulerKind kind) {
       return "SCRIPTED";
   }
   return "?";
+}
+
+std::optional<SchedulerKind> schedulerFromName(std::string_view name) {
+  if (name == "FSYNC" || name == "fsync") return SchedulerKind::FSync;
+  if (name == "SSYNC" || name == "ssync") return SchedulerKind::SSync;
+  if (name == "ASYNC" || name == "async") return SchedulerKind::Async;
+  if (name == "SCRIPTED" || name == "scripted") {
+    return SchedulerKind::Scripted;
+  }
+  return std::nullopt;
+}
+
+void appendManifest(const SchedulerOptions& opts, obs::Manifest& m) {
+  m.set("sched.kind", schedulerName(opts.kind));
+  m.set("sched.delta", opts.delta);
+  m.set("sched.fairness_bound", opts.fairnessBound);
+  m.set("sched.early_stop_prob", opts.earlyStopProb);
+  m.set("sched.activation_prob", opts.activationProb);
 }
 
 }  // namespace apf::sched

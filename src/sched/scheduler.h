@@ -14,6 +14,12 @@
 /// (non-rigid movement; delta unknown to the robots).
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace apf::obs {
+class Manifest;
+}
 
 namespace apf::sched {
 
@@ -55,5 +61,12 @@ struct SchedulerOptions {
 };
 
 const char* schedulerName(SchedulerKind kind);
+
+/// Inverse of schedulerName, also accepting the lowercase CLI spellings
+/// ("fsync", "ssync", "async", "scripted"). nullopt for anything else.
+std::optional<SchedulerKind> schedulerFromName(std::string_view name);
+
+/// Records every SchedulerOptions field under `sched.*` manifest keys.
+void appendManifest(const SchedulerOptions& opts, obs::Manifest& manifest);
 
 }  // namespace apf::sched

@@ -36,6 +36,10 @@ struct Action {
   /// Which algorithm phase produced this decision (see core/phases.h); used
   /// by metrics only, not by the model.
   int phaseTag = 0;
+  /// True when this Compute flipped the election's random bit (set by
+  /// psi_RSB); the engine turns it into an election_round telemetry event.
+  /// Observability only, not part of the model.
+  bool electionRound = false;
 
   bool isMove() const { return !path.empty(); }
 

@@ -5,6 +5,8 @@
 
 #include "config/similarity.h"
 #include "geom/angle.h"
+#include "obs/recorder.h"
+#include "obs/stats.h"
 
 namespace apf::sim {
 
@@ -35,6 +37,22 @@ Engine::Engine(Configuration start, Configuration pattern,
     r.frame = Similarity(angle, scale, reflect, {});
     r.frameInv = r.frame.inverse();
   }
+  recorder_ = opts_.recorder;
+  timed_ = opts_.collectTimings || recorder_ != nullptr;
+  startNanos_ = obs::nowNanos();
+  if (recorder_) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::RunStart;
+    emit(ev);
+  }
+}
+
+void Engine::emit(obs::Event ev) {
+  ev.index = eventIndex_++;
+  ev.wallNanos = obs::nowNanos() - startNanos_;
+  ev.schedEvent = metrics_.events;
+  ev.configVersion = configVersion_;
+  recorder_->record(ev);
 }
 
 Snapshot Engine::takeSnapshot(std::size_t i) const {
@@ -69,18 +87,57 @@ Action Engine::computeFor(std::size_t i, sched::RandomSource& rng) {
 }
 
 void Engine::look(std::size_t i) {
+  const std::uint64_t t0 = timed_ ? obs::nowNanos() : 0;
   robots_[i].snap = takeSnapshot(i);
   robots_[i].snapVersion = configVersion_;
   robots_[i].phase = Phase::Observed;
+  if (timed_) metrics_.lookTime.add(obs::nowNanos() - t0);
+  if (recorder_) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::Look;
+    ev.robot = static_cast<std::int64_t>(i);
+    emit(ev);
+  }
 }
 
 bool Engine::compute(std::size_t i) {
   Robot& r = robots_[i];
   const std::uint64_t bitsBefore = rng_.bitsConsumed();
+  const std::uint64_t t0 = timed_ ? obs::nowNanos() : 0;
   Action act = computeFor(i, rng_);
+  const std::uint64_t durNanos = timed_ ? obs::nowNanos() - t0 : 0;
   const std::uint64_t bitsUsed = rng_.bitsConsumed() - bitsBefore;
+  const std::uint64_t staleness = configVersion_ - r.snapVersion;
   metrics_.randomBits += bitsUsed;
   metrics_.phaseActivations[act.phaseTag] += 1;
+  metrics_.staleness.add(staleness);
+  if (act.electionRound) metrics_.electionRounds += 1;
+  if (timed_) {
+    metrics_.computeTime.add(durNanos);
+    metrics_.phaseNanos[act.phaseTag] += durNanos;
+  }
+  if (recorder_) {
+    obs::Event ev;
+    ev.robot = static_cast<std::int64_t>(i);
+    ev.phaseTag = act.phaseTag;
+    ev.bitsUsed = bitsUsed;
+    if (act.phaseTag != r.phaseTag) {
+      ev.kind = obs::EventKind::PhaseTransition;
+      ev.phaseFrom = r.phaseTag;
+      emit(ev);
+      ev.phaseFrom = 0;
+    }
+    ev.kind = obs::EventKind::Compute;
+    ev.staleness = staleness;
+    ev.durNanos = durNanos;
+    emit(ev);
+    if (act.electionRound) {
+      ev.kind = obs::EventKind::ElectionRound;
+      ev.staleness = 0;
+      ev.durNanos = 0;
+      emit(ev);
+    }
+  }
   r.phaseTag = act.phaseTag;
   if (!act.isMove()) {
     // An empty, randomness-free decision counts toward quiescence, credited
@@ -99,6 +156,7 @@ bool Engine::compute(std::size_t i) {
 
 bool Engine::moveStep(std::size_t i, bool full) {
   Robot& r = robots_[i];
+  const std::uint64_t t0 = timed_ ? obs::nowNanos() : 0;
   r.phase = Phase::Moving;
   const double remaining = r.path.length() - r.progress;
   double d = remaining;
@@ -114,20 +172,35 @@ bool Engine::moveStep(std::size_t i, bool full) {
   r.progress += d;
   current_[i] = r.path.pointAt(r.progress);
   metrics_.distance += d;
+  if (timed_) metrics_.moveTime.add(obs::nowNanos() - t0);
   if (d > 0.0) {
     ++configVersion_;
     if (observer_) observer_(*this, i);
   }
-  if (r.progress >= r.path.length() - 1e-15) {
-    completeCycle(i);
-    return true;
+  const bool done = r.progress >= r.path.length() - 1e-15;
+  if (recorder_) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::MoveStep;
+    ev.robot = static_cast<std::int64_t>(i);
+    ev.phaseTag = r.phaseTag;
+    ev.distance = d;
+    ev.flag = done;
+    emit(ev);
   }
-  return false;
+  if (done) completeCycle(i);
+  return done;
 }
 
 void Engine::completeCycle(std::size_t i) {
   robots_[i].phase = Phase::Idle;
   metrics_.cycles += 1;
+  if (recorder_) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::CycleComplete;
+    ev.robot = static_cast<std::int64_t>(i);
+    ev.phaseTag = robots_[i].phaseTag;
+    emit(ev);
+  }
 }
 
 void Engine::fsyncRound() {
@@ -244,7 +317,17 @@ void Engine::scriptedEvent() {
         ++configVersion_;
         if (observer_) observer_(*this, ev.robot);
       }
-      if (r.progress >= r.path.length() - 1e-15) completeCycle(ev.robot);
+      const bool done = r.progress >= r.path.length() - 1e-15;
+      if (recorder_) {
+        obs::Event step;
+        step.kind = obs::EventKind::MoveStep;
+        step.robot = static_cast<std::int64_t>(ev.robot);
+        step.phaseTag = r.phaseTag;
+        step.distance = d;
+        step.flag = done;
+        emit(step);
+      }
+      if (done) completeCycle(ev.robot);
       break;
     }
   }
@@ -294,7 +377,61 @@ RunResult Engine::run() {
   }
   res.success = success();
   res.metrics = metrics_;
+  if (recorder_) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::RunEnd;
+    ev.distance = metrics_.distance;
+    ev.flag = res.success;
+    emit(ev);
+    recorder_->flush();
+  }
   return res;
+}
+
+obs::Manifest describeRun(const EngineOptions& opts,
+                          const std::string& algoName,
+                          const std::string& patternLabel, std::size_t n) {
+  obs::Manifest m;
+  obs::addBuildInfo(m);
+  m.set("algo", algoName);
+  m.set("pattern", patternLabel);
+  m.set("n", static_cast<std::uint64_t>(n));
+  m.set("seed", opts.seed);
+  m.set("engine.max_events", opts.maxEvents);
+  m.set("engine.multiplicity_detection", opts.multiplicityDetection);
+  m.set("engine.common_chirality", opts.commonChirality);
+  m.set("engine.randomize_frames", opts.randomizeFrames);
+  m.set("engine.collect_timings", opts.collectTimings);
+  m.set("engine.script_events",
+        static_cast<std::uint64_t>(opts.script.size()));
+  sched::appendManifest(opts.sched, m);
+  return m;
+}
+
+void appendResult(obs::Manifest& m, const RunResult& res) {
+  const Metrics& mx = res.metrics;
+  m.set("result.terminated", res.terminated);
+  m.set("result.success", res.success);
+  m.set("result.cycles", mx.cycles);
+  m.set("result.events", mx.events);
+  m.set("result.random_bits", mx.randomBits);
+  m.set("result.distance", mx.distance);
+  m.set("result.election_rounds", mx.electionRounds);
+  m.set("result.stale.mean", mx.staleness.mean());
+  m.set("result.stale.p95", mx.staleness.quantileUpperBound(0.95));
+  m.set("result.stale.max", mx.staleness.max());
+  for (const auto& [tag, count] : mx.phaseActivations) {
+    m.set("result.phase." + std::to_string(tag) + ".activations", count);
+  }
+  for (const auto& [tag, nanos] : mx.phaseNanos) {
+    m.set("result.phase." + std::to_string(tag) + ".ns", nanos);
+  }
+  if (mx.lookTime.count() != 0 || mx.computeTime.count() != 0 ||
+      mx.moveTime.count() != 0) {
+    m.set("result.time.look_ns", mx.lookTime.nanos());
+    m.set("result.time.compute_ns", mx.computeTime.nanos());
+    m.set("result.time.move_ns", mx.moveTime.nanos());
+  }
 }
 
 }  // namespace apf::sim

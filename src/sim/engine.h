@@ -22,13 +22,20 @@
 ///    `fairnessBound` scheduler events.
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "config/configuration.h"
+#include "obs/event.h"
+#include "obs/manifest.h"
 #include "sched/rng.h"
 #include "sched/scheduler.h"
 #include "sim/algorithm.h"
 #include "sim/metrics.h"
+
+namespace apf::obs {
+class Recorder;
+}
 
 namespace apf::sim {
 
@@ -48,6 +55,14 @@ struct EngineOptions {
   /// Invalid events (e.g. Move for a robot with no path) are skipped; when
   /// the script is exhausted the run continues under the ASYNC adversary.
   std::vector<sched::ScriptedEvent> script;
+  /// Telemetry sink (not owned; must outlive the engine). When nullptr the
+  /// hot path pays exactly one branch per would-be event and the run is
+  /// bit-identical to an uninstrumented one.
+  obs::Recorder* recorder = nullptr;
+  /// Collect wall-time metrics (Metrics::lookTime/computeTime/moveTime and
+  /// phaseNanos). Implied by a non-null recorder; off by default because
+  /// clock reads are not free on the hot path.
+  bool collectTimings = false;
 };
 
 /// Drives one execution of an algorithm from a start configuration toward a
@@ -102,6 +117,10 @@ class Engine {
     std::uint64_t snapVersion = 0;
   };
 
+  /// Stamps index/time/context fields and hands `ev` to the recorder.
+  /// Callers must already have checked `recorder_ != nullptr`.
+  void emit(obs::Event ev);
+
   Snapshot takeSnapshot(std::size_t i) const;
   /// Runs the algorithm for robot i on its stored snapshot; returns the
   /// global-frame action.
@@ -128,8 +147,24 @@ class Engine {
   Metrics metrics_;
   Observer observer_;
 
+  obs::Recorder* recorder_ = nullptr;
+  bool timed_ = false;
+  std::uint64_t eventIndex_ = 0;
+  std::uint64_t startNanos_ = 0;
+
   std::uint64_t configVersion_ = 1;
   std::size_t scriptPos_ = 0;
 };
+
+/// Builds the reproducibility manifest for a run: seed, every
+/// EngineOptions / SchedulerOptions field, algorithm and pattern labels,
+/// n, and build info. Any CSV row or event log accompanied by this
+/// manifest can be re-run exactly.
+obs::Manifest describeRun(const EngineOptions& opts,
+                          const std::string& algoName,
+                          const std::string& patternLabel, std::size_t n);
+
+/// Appends the result summary (`result.*` keys) to a run manifest.
+void appendResult(obs::Manifest& manifest, const RunResult& result);
 
 }  // namespace apf::sim

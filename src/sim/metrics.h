@@ -2,10 +2,14 @@
 
 /// \file metrics.h
 /// Execution metrics collected by the engine: the quantities the paper's
-/// claims are stated in (cycles, random bits) plus diagnostics.
+/// claims are stated in (cycles, random bits) plus diagnostics from the
+/// observability layer (histograms, wall-time accumulators). Everything
+/// here is a plain value copied out with the RunResult.
 
 #include <cstdint>
 #include <map>
+
+#include "obs/stats.h"
 
 namespace apf::sim {
 
@@ -20,6 +24,24 @@ struct Metrics {
   double distance = 0.0;
   /// Activations per algorithm phase tag (see core/phases.h).
   std::map<int, std::uint64_t> phaseActivations;
+
+  // --- observability extensions ---------------------------------------
+  /// Election rounds: Compute activations that flipped the election's
+  /// random bit (the paper's "one bit per robot per cycle" events).
+  std::uint64_t electionRounds = 0;
+  /// Snapshot staleness at Compute time, in configuration versions
+  /// (version at Compute minus version captured at Look). Always
+  /// collected: the update is two integer adds per activation.
+  obs::Histogram staleness;
+  /// Wall time of the engine's Look / Compute / Move sections. Only
+  /// populated when EngineOptions::collectTimings (or a recorder) is set —
+  /// clock reads are not free on the hot path.
+  obs::Timer lookTime;
+  obs::Timer computeTime;
+  obs::Timer moveTime;
+  /// Wall nanoseconds of algorithm Compute calls per phase tag (timed
+  /// runs only).
+  std::map<int, std::uint64_t> phaseNanos;
 };
 
 /// Result of one simulation run.

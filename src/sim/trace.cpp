@@ -1,6 +1,7 @@
 #include "sim/trace.h"
 
 #include <fstream>
+#include <stdexcept>
 
 namespace apf::sim {
 
@@ -41,11 +42,14 @@ std::vector<double> Trace::distances() const {
 
 void Trace::writeCsv(const std::string& path) const {
   std::ofstream os(path);
+  if (!os) throw std::runtime_error("Trace: cannot open for write: " + path);
   os << "event,robot,x,y,phase\n";
   for (const TraceStep& s : steps_) {
     os << s.event << ',' << s.robot << ',' << s.position.x << ','
        << s.position.y << ',' << s.phaseTag << '\n';
   }
+  os.flush();
+  if (os.fail()) throw std::runtime_error("Trace: write failed: " + path);
 }
 
 }  // namespace apf::sim

@@ -6,6 +6,7 @@
 #include "config/generator.h"
 #include "config/similarity.h"
 #include "core/form_pattern.h"
+#include "core/phases.h"
 #include "io/patterns.h"
 #include "io/serialize.h"
 #include "sim/engine.h"
@@ -88,6 +89,76 @@ TEST(TraceTest, RecordsEveryPositionChange) {
   for (std::size_t k = 1; k < trace.steps().size(); ++k) {
     EXPECT_LE(trace.steps()[k - 1].event, trace.steps()[k].event);
   }
+}
+
+/// Walks straight toward the farthest observed robot, half the distance
+/// (same deterministic algorithm as scripted_test.cpp).
+class ChaseFarthest : public sim::Algorithm {
+ public:
+  sim::Action compute(const sim::Snapshot& snap,
+                      sched::RandomSource&) const override {
+    double best = -1;
+    geom::Vec2 target{};
+    for (const auto& q : snap.robots.points()) {
+      if (q.norm() > best) {
+        best = q.norm();
+        target = q;
+      }
+    }
+    geom::Path p{geom::Vec2{}};
+    if (best > 1e-9) p.lineTo(target * 0.5);
+    return sim::Action{p, core::kBaseline};
+  }
+  std::string name() const override { return "chase"; }
+};
+
+TEST(TraceTest, TrailsAndDistancesExactOnScriptedRun) {
+  // Fully scripted, frame randomization off: every recorded position is
+  // known in closed form, so trails() and distances() are checked EXACTLY.
+  using Op = sched::ScriptedEvent::Op;
+  const Configuration start({{0, 0}, {10, 0}});
+  ChaseFarthest algo;
+  sim::EngineOptions opts;
+  opts.sched.kind = sched::SchedulerKind::Scripted;
+  opts.sched.delta = 0.5;
+  opts.randomizeFrames = false;
+  opts.maxEvents = 8;
+  opts.script = {
+      {0, Op::Look, 0},
+      {0, Op::Compute, 0},  // path (0,0) -> (5,0), length 5
+      {0, Op::Move, 2.0},   // reaches (2,0)
+      {0, Op::Move, 0},     // full move: reaches (5,0), cycle complete
+      {1, Op::Look, 0},     // observes robot 0 at (5,0)
+      {1, Op::Compute, 0},  // farthest in local frame: (-5,0) -> target
+                            // (-2.5,0) local = (7.5,0) world
+      {1, Op::Move, 1.0},   // reaches (9,0)
+      {1, Op::Move, 0},     // reaches (7.5,0)
+  };
+  sim::Engine eng(start, start, algo, opts);
+  sim::Trace trace;
+  trace.attach(eng);
+  while (eng.metrics().events < opts.maxEvents && eng.step()) {
+  }
+
+  const auto trails = trace.trails();
+  ASSERT_EQ(trails.size(), 2u);
+  const std::vector<geom::Vec2> expect0 = {{0, 0}, {2, 0}, {5, 0}};
+  const std::vector<geom::Vec2> expect1 = {{10, 0}, {9, 0}, {7.5, 0}};
+  ASSERT_EQ(trails[0].size(), expect0.size());
+  ASSERT_EQ(trails[1].size(), expect1.size());
+  for (std::size_t k = 0; k < expect0.size(); ++k) {
+    EXPECT_NEAR(trails[0][k].x, expect0[k].x, 1e-12) << k;
+    EXPECT_NEAR(trails[0][k].y, expect0[k].y, 1e-12) << k;
+  }
+  for (std::size_t k = 0; k < expect1.size(); ++k) {
+    EXPECT_NEAR(trails[1][k].x, expect1[k].x, 1e-12) << k;
+    EXPECT_NEAR(trails[1][k].y, expect1[k].y, 1e-12) << k;
+  }
+  const auto dists = trace.distances();
+  ASSERT_EQ(dists.size(), 2u);
+  EXPECT_NEAR(dists[0], 5.0, 1e-12);
+  EXPECT_NEAR(dists[1], 2.5, 1e-12);
+  EXPECT_NEAR(eng.metrics().distance, 7.5, 1e-12);
 }
 
 TEST(TraceTest, CsvHasHeaderAndRows) {

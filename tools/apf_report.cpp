@@ -1,0 +1,332 @@
+/// \file apf_report.cpp
+/// Telemetry aggregator: ingests run manifests (`*.manifest.json`) and
+/// structured event logs (`*.jsonl`) from a directory and prints
+///  * success rates and run-cost statistics grouped by (algo, sched, n),
+///  * random-bit accounting (the paper's one-bit-per-cycle claim),
+///  * per-phase activation and wall-time breakdowns,
+///  * event-log statistics (event counts by kind, snapshot staleness),
+///  * a cross-check that event-log per-phase totals match the manifests'
+///    `Metrics::phaseActivations` numbers.
+///
+/// Produce inputs with either
+///   apf_sim --jsonl run.jsonl --manifest run.manifest.json ...
+/// or, for whole benchmark campaigns,
+///   APF_OBS_DIR=obsout [APF_OBS_EVENTS=1] ./build/bench/bench_randbits
+/// and then:
+///   apf_report obsout
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/phases.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/stats.h"
+
+namespace fs = std::filesystem;
+using apf::obs::JsonObject;
+using apf::obs::JsonValue;
+
+namespace {
+
+double num(const JsonObject& obj, const char* key, double fallback = 0.0) {
+  const auto it = obj.find(key);
+  return it == obj.end() ? fallback : it->second.asNumber(fallback);
+}
+
+std::string str(const JsonObject& obj, const char* key,
+                const std::string& fallback = "?") {
+  const auto it = obj.find(key);
+  return it == obj.end() ? fallback : it->second.asString(fallback);
+}
+
+bool boolean(const JsonObject& obj, const char* key) {
+  const auto it = obj.find(key);
+  return it != obj.end() && it->second.asBool(false);
+}
+
+double mean(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0
+                    : std::accumulate(xs.begin(), xs.end(), 0.0) /
+                          static_cast<double>(xs.size());
+}
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(q * (xs.size() - 1));
+  return xs[idx];
+}
+
+/// Statistics accumulated per (algo, sched, n) manifest group.
+struct Group {
+  int runs = 0;
+  int successes = 0;
+  int terminated = 0;
+  std::vector<double> bits;
+  std::vector<double> cycles;
+  std::vector<double> events;
+  std::vector<double> distance;
+  double bitsPerCycleMax = 0.0;
+  std::uint64_t electionRounds = 0;
+};
+
+/// Whole-directory aggregation.
+struct Report {
+  std::map<std::string, Group> groups;  // key: algo|sched|n
+  // Per-phase totals from manifests.
+  std::map<int, std::uint64_t> phaseActivations;
+  std::map<int, std::uint64_t> phaseNanos;
+  std::uint64_t totalBits = 0;
+  std::uint64_t totalCycles = 0;
+  // Event-log aggregation.
+  std::map<std::string, std::uint64_t> eventsByKind;
+  std::map<int, std::uint64_t> computeByPhase;  // from compute events
+  std::uint64_t eventLogBits = 0;
+  std::uint64_t eventLogElections = 0;
+  std::vector<double> staleness;
+  std::uint64_t jsonlFiles = 0;
+  std::uint64_t badLines = 0;
+};
+
+void ingestManifest(const fs::path& path, Report& rep) {
+  const JsonObject m = apf::obs::loadFlatJsonFile(path.string());
+  if (m.count("result.success") == 0) return;  // table manifest, not a run
+  const std::string key = str(m, "algo") + " | " + str(m, "sched.kind") +
+                          " | n=" + std::to_string(
+                                        static_cast<long>(num(m, "n")));
+  Group& g = rep.groups[key];
+  g.runs += 1;
+  g.successes += boolean(m, "result.success") ? 1 : 0;
+  g.terminated += boolean(m, "result.terminated") ? 1 : 0;
+  const double bits = num(m, "result.random_bits");
+  const double cycles = num(m, "result.cycles");
+  g.bits.push_back(bits);
+  g.cycles.push_back(cycles);
+  g.events.push_back(num(m, "result.events"));
+  g.distance.push_back(num(m, "result.distance"));
+  if (cycles > 0) {
+    g.bitsPerCycleMax = std::max(g.bitsPerCycleMax, bits / cycles);
+  }
+  g.electionRounds +=
+      static_cast<std::uint64_t>(num(m, "result.election_rounds"));
+  rep.totalBits += static_cast<std::uint64_t>(bits);
+  rep.totalCycles += static_cast<std::uint64_t>(cycles);
+
+  for (const auto& [k, v] : m) {
+    // result.phase.<tag>.activations / result.phase.<tag>.ns
+    constexpr const char* kPrefix = "result.phase.";
+    if (k.rfind(kPrefix, 0) != 0) continue;
+    const std::size_t tagStart = std::strlen(kPrefix);
+    const std::size_t tagEnd = k.find('.', tagStart);
+    if (tagEnd == std::string::npos) continue;
+    const int tag = std::atoi(k.substr(tagStart, tagEnd - tagStart).c_str());
+    const auto amount = static_cast<std::uint64_t>(v.asNumber(0.0));
+    if (k.compare(tagEnd, std::string::npos, ".activations") == 0) {
+      rep.phaseActivations[tag] += amount;
+    } else if (k.compare(tagEnd, std::string::npos, ".ns") == 0) {
+      rep.phaseNanos[tag] += amount;
+    }
+  }
+}
+
+void ingestJsonl(const fs::path& path, Report& rep) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "apf_report: cannot open %s\n",
+                 path.string().c_str());
+    return;
+  }
+  rep.jsonlFiles += 1;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto obj = apf::obs::parseFlatObject(line);
+    if (!obj) {
+      rep.badLines += 1;
+      continue;
+    }
+    const std::string kind = str(*obj, "ev");
+    rep.eventsByKind[kind] += 1;
+    if (kind == "compute") {
+      rep.computeByPhase[static_cast<int>(num(*obj, "phase"))] += 1;
+      rep.eventLogBits += static_cast<std::uint64_t>(num(*obj, "bits"));
+      rep.staleness.push_back(num(*obj, "stale"));
+    } else if (kind == "election_round") {
+      rep.eventLogElections += 1;
+    }
+  }
+}
+
+void printGroups(const Report& rep) {
+  std::printf("== runs (from %zu-group manifest set) ==\n",
+              rep.groups.size());
+  std::printf("%-40s %5s %9s %9s %9s %11s %11s %9s\n", "group", "runs",
+              "success", "bits_mean", "bits_p95", "cycles_mean",
+              "events_mean", "b/c_max");
+  for (const auto& [key, g] : rep.groups) {
+    std::printf("%-40s %5d %6d/%-2d %9.1f %9.0f %11.0f %11.0f %9.3f\n",
+                key.c_str(), g.runs, g.successes, g.runs, mean(g.bits),
+                percentile(g.bits, 0.95), mean(g.cycles), mean(g.events),
+                g.bitsPerCycleMax);
+  }
+  int runs = 0, ok = 0;
+  for (const auto& [key, g] : rep.groups) {
+    runs += g.runs;
+    ok += g.successes;
+  }
+  if (runs > 0) {
+    std::printf("overall: %d/%d succeeded (%.1f%%)\n", ok, runs,
+                100.0 * ok / runs);
+  }
+}
+
+void printBits(const Report& rep) {
+  std::printf("\n== random-bit accounting ==\n");
+  std::uint64_t elections = 0;
+  for (const auto& [key, g] : rep.groups) elections += g.electionRounds;
+  std::printf("total algorithm bits: %llu over %llu cycles",
+              static_cast<unsigned long long>(rep.totalBits),
+              static_cast<unsigned long long>(rep.totalCycles));
+  if (rep.totalCycles > 0) {
+    std::printf("  (%.4f bits/cycle)",
+                static_cast<double>(rep.totalBits) /
+                    static_cast<double>(rep.totalCycles));
+  }
+  std::printf("\nelection rounds (one bit each): %llu\n",
+              static_cast<unsigned long long>(elections));
+}
+
+void printPhases(const Report& rep) {
+  if (rep.phaseActivations.empty()) return;
+  std::printf("\n== per-phase breakdown (manifests) ==\n");
+  std::uint64_t total = 0, totalNs = 0;
+  for (const auto& [tag, n] : rep.phaseActivations) total += n;
+  for (const auto& [tag, ns] : rep.phaseNanos) totalNs += ns;
+  std::printf("%-18s %12s %7s %12s %7s\n", "phase", "activations", "share",
+              "wall_ms", "share");
+  for (const auto& [tag, n] : rep.phaseActivations) {
+    const auto nsIt = rep.phaseNanos.find(tag);
+    const std::uint64_t ns =
+        nsIt == rep.phaseNanos.end() ? 0 : nsIt->second;
+    std::printf("%-18s %12llu %6.1f%% %12.2f %6.1f%%\n",
+                apf::core::phaseName(tag),
+                static_cast<unsigned long long>(n),
+                total > 0 ? 100.0 * static_cast<double>(n) /
+                                static_cast<double>(total)
+                          : 0.0,
+                static_cast<double>(ns) / 1e6,
+                totalNs > 0 ? 100.0 * static_cast<double>(ns) /
+                                  static_cast<double>(totalNs)
+                            : 0.0);
+  }
+}
+
+void printEventLogs(const Report& rep) {
+  if (rep.jsonlFiles == 0) return;
+  std::printf("\n== event logs (%llu files) ==\n",
+              static_cast<unsigned long long>(rep.jsonlFiles));
+  for (const auto& [kind, n] : rep.eventsByKind) {
+    std::printf("%-18s %12llu\n", kind.c_str(),
+                static_cast<unsigned long long>(n));
+  }
+  if (rep.badLines > 0) {
+    std::printf("WARNING: %llu malformed lines skipped\n",
+                static_cast<unsigned long long>(rep.badLines));
+  }
+  if (!rep.staleness.empty()) {
+    std::printf(
+        "snapshot staleness (config versions): mean=%.2f p50=%.0f "
+        "p95=%.0f max=%.0f\n",
+        mean(rep.staleness), percentile(rep.staleness, 0.50),
+        percentile(rep.staleness, 0.95),
+        *std::max_element(rep.staleness.begin(), rep.staleness.end()));
+  }
+  std::printf("bits from compute events: %llu; election rounds: %llu\n",
+              static_cast<unsigned long long>(rep.eventLogBits),
+              static_cast<unsigned long long>(rep.eventLogElections));
+}
+
+/// Returns false on mismatch. Only meaningful when every manifest in the
+/// directory has a sibling event log (APF_OBS_EVENTS=1 campaigns).
+bool crossCheck(const Report& rep) {
+  if (rep.jsonlFiles == 0 || rep.phaseActivations.empty()) return true;
+  std::printf("\n== cross-check: event log vs Metrics::phaseActivations ==\n");
+  bool allOk = true;
+  for (const auto& [tag, n] : rep.phaseActivations) {
+    const auto it = rep.computeByPhase.find(tag);
+    const std::uint64_t fromEvents =
+        it == rep.computeByPhase.end() ? 0 : it->second;
+    const bool ok = fromEvents == n;
+    allOk = allOk && ok;
+    std::printf("%-18s manifests=%llu events=%llu %s\n",
+                apf::core::phaseName(tag),
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(fromEvents),
+                ok ? "OK" : "MISMATCH");
+  }
+  return allOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    std::fprintf(stderr,
+                 "usage: apf_report DIR\n"
+                 "  aggregates *.manifest.json and *.jsonl telemetry from\n"
+                 "  DIR (see docs/OBSERVABILITY.md)\n");
+    return 2;
+  }
+  const fs::path dir(argv[1]);
+  if (!fs::is_directory(dir)) {
+    std::fprintf(stderr, "apf_report: not a directory: %s\n", argv[1]);
+    return 2;
+  }
+
+  Report rep;
+  std::vector<fs::path> manifests, logs;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 14 &&
+        name.compare(name.size() - 14, 14, ".manifest.json") == 0) {
+      manifests.push_back(entry.path());
+    } else if (name.size() > 6 &&
+               name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+      logs.push_back(entry.path());
+    }
+  }
+  std::sort(manifests.begin(), manifests.end());
+  std::sort(logs.begin(), logs.end());
+
+  for (const auto& p : manifests) {
+    try {
+      ingestManifest(p, rep);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "apf_report: skipping %s: %s\n",
+                   p.string().c_str(), e.what());
+    }
+  }
+  for (const auto& p : logs) ingestJsonl(p, rep);
+
+  if (rep.groups.empty() && rep.jsonlFiles == 0) {
+    std::fprintf(stderr, "apf_report: no telemetry found in %s\n", argv[1]);
+    return 1;
+  }
+
+  printGroups(rep);
+  printBits(rep);
+  printPhases(rep);
+  printEventLogs(rep);
+  const bool consistent = crossCheck(rep);
+  return consistent ? 0 : 1;
+}

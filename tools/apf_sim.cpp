@@ -8,9 +8,12 @@
 ///   apf_sim --start symmetric --pattern random --svg run.svg
 ///   apf_sim --algo yy --no-chirality            # watch the baseline fail
 ///   apf_sim --start-file my_start.txt --pattern-file my_pattern.txt
+///   apf_sim --jsonl run.jsonl --manifest run.manifest.json   # telemetry
+///   apf_sim --json                              # one JSON line for scripts
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <memory>
 #include <string>
 
@@ -25,6 +28,8 @@
 #include "io/patterns.h"
 #include "io/serialize.h"
 #include "io/svg.h"
+#include "obs/manifest.h"
+#include "obs/recorder.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
 
@@ -45,6 +50,9 @@ struct Options {
   bool commonChirality = false;
   std::string svgPath;
   std::string tracePath;
+  std::string jsonlPath;
+  std::string manifestPath;
+  bool json = false;
   bool quiet = false;
   /// Analyze the start configuration (Definitions 1-3) instead of running.
   bool analyze = false;
@@ -70,6 +78,10 @@ void usage() {
       "  --chirality        give all robots a common chirality\n"
       "  --svg FILE         write trajectory SVG\n"
       "  --trace FILE       write trace CSV\n"
+      "  --jsonl FILE       write structured event log (JSONL; see\n"
+      "                     docs/OBSERVABILITY.md and apf_report)\n"
+      "  --manifest FILE    write run manifest (reproducibility record)\n"
+      "  --json             print run manifest + result as one JSON line\n"
       "  --analyze          classify the start configuration and exit\n"
       "  --quiet            summary line only\n");
 }
@@ -112,6 +124,12 @@ bool parse(int argc, char** argv, Options& o) {
       o.svgPath = next("--svg");
     } else if (a == "--trace") {
       o.tracePath = next("--trace");
+    } else if (a == "--jsonl") {
+      o.jsonlPath = next("--jsonl");
+    } else if (a == "--manifest") {
+      o.manifestPath = next("--manifest");
+    } else if (a == "--json") {
+      o.json = true;
     } else if (a == "--quiet") {
       o.quiet = true;
     } else if (a == "--analyze") {
@@ -129,7 +147,7 @@ bool parse(int argc, char** argv, Options& o) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace apf;
   Options o;
   if (!parse(argc, argv, o)) {
@@ -200,9 +218,20 @@ int main(int argc, char** argv) {
   opts.multiplicityDetection = o.multiplicity;
   opts.commonChirality = o.commonChirality;
   opts.sched.delta = o.delta;
-  opts.sched.kind = o.sched == "fsync"   ? sched::SchedulerKind::FSync
-                    : o.sched == "ssync" ? sched::SchedulerKind::SSync
-                                         : sched::SchedulerKind::Async;
+  const auto kind = sched::schedulerFromName(o.sched);
+  if (!kind) {
+    std::fprintf(stderr, "unknown scheduler: %s\n", o.sched.c_str());
+    return 2;
+  }
+  opts.sched.kind = *kind;
+
+  std::unique_ptr<obs::JsonlRecorder> sink;
+  if (!o.jsonlPath.empty()) {
+    sink = std::make_unique<obs::JsonlRecorder>(o.jsonlPath);
+    opts.recorder = sink.get();
+  }
+  opts.collectTimings =
+      !o.jsonlPath.empty() || !o.manifestPath.empty() || o.json;
 
   sim::Engine engine(start, pattern, *algo, opts);
   sim::Trace trace;
@@ -210,19 +239,30 @@ int main(int argc, char** argv) {
 
   const sim::RunResult res = engine.run();
 
-  std::printf(
-      "algo=%s n=%zu sched=%s seed=%llu  terminated=%s success=%s  "
-      "cycles=%llu bits=%llu distance=%.2f\n",
-      algo->name().c_str(), start.size(), o.sched.c_str(),
-      static_cast<unsigned long long>(o.seed),
-      res.terminated ? "yes" : "no", res.success ? "yes" : "no",
-      static_cast<unsigned long long>(res.metrics.cycles),
-      static_cast<unsigned long long>(res.metrics.randomBits),
-      res.metrics.distance);
-  if (!o.quiet) {
-    for (const auto& [tag, cnt] : res.metrics.phaseActivations) {
-      std::printf("  %-16s %llu\n", core::phaseName(tag),
-                  static_cast<unsigned long long>(cnt));
+  const std::string patternLabel =
+      !o.patternFile.empty() ? o.patternFile : o.pattern;
+  obs::Manifest manifest =
+      sim::describeRun(opts, algo->name(), patternLabel, start.size());
+  sim::appendResult(manifest, res);
+  if (!o.manifestPath.empty()) manifest.write(o.manifestPath);
+
+  if (o.json) {
+    std::printf("%s\n", manifest.toJson().c_str());
+  } else {
+    std::printf(
+        "algo=%s n=%zu sched=%s seed=%llu  terminated=%s success=%s  "
+        "cycles=%llu bits=%llu distance=%.2f\n",
+        algo->name().c_str(), start.size(), o.sched.c_str(),
+        static_cast<unsigned long long>(o.seed),
+        res.terminated ? "yes" : "no", res.success ? "yes" : "no",
+        static_cast<unsigned long long>(res.metrics.cycles),
+        static_cast<unsigned long long>(res.metrics.randomBits),
+        res.metrics.distance);
+    if (!o.quiet) {
+      for (const auto& [tag, cnt] : res.metrics.phaseActivations) {
+        std::printf("  %-16s %llu\n", core::phaseName(tag),
+                    static_cast<unsigned long long>(cnt));
+      }
     }
   }
 
@@ -235,4 +275,7 @@ int main(int argc, char** argv) {
     scene.write(o.svgPath);
   }
   return res.success ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "apf_sim: %s\n", e.what());
+  return 1;
 }
