@@ -1,0 +1,100 @@
+/// \file bench_faults.cpp
+/// Degradation measurement under injected faults: sweep crash count
+/// f in {0, 1, 2} x Look-noise sigma x snapshot-omission probability on the
+/// reference configurations of bench_scheduler (n = 10, random starts and
+/// patterns, ASYNC earlyStop 0.5), and tabulate per-cell run outcomes
+/// {success, crashed_short, stalled, safety_violation} plus an
+/// approximate-success column (pattern matched within 2% of the SEC
+/// radius — the "came close" grade exact matching hides under noise).
+///
+/// The f=0 / sigma=0 / omit=0 cell reproduces bench_scheduler's
+/// ASYNC earlyStop=0.5 row exactly (same starts, patterns, and seeds).
+///
+/// Measured shape (results/bench_faults.csv): success is monotone
+/// non-increasing in f and in sigma. Crashes leave survivors safely parked
+/// short of the pattern (crashed_short); persistent noise defeats the
+/// phase detection entirely, so those runs burn the whole event budget
+/// without converging (stalled at the cap); omission only slows progress —
+/// psi_DPF refuses to act on snapshots whose cardinality disagrees with
+/// the pattern, so a fraction of runs still finish within budget.
+
+#include "bench/common.h"
+#include "config/similarity.h"
+#include "core/form_pattern.h"
+
+using namespace apf;
+using namespace apf::bench;
+
+int main() {
+  const int kSeeds = 10;
+  const std::size_t kN = 10;
+  core::FormPatternAlgorithm algo;
+
+  Table table(
+      "TF: fault degradation (n = 10, ASYNC 0.5, reference starts/patterns)",
+      "bench_faults.csv",
+      {"f", "sigma", "omit", "success", "approx", "crashed_short", "stalled",
+       "violation", "events_mean"});
+
+  const int crashCounts[] = {0, 1, 2};
+  const double sigmas[] = {0.0, 0.02, 0.1};
+  const double omits[] = {0.0, 0.1};
+
+  for (const int f : crashCounts) {
+    for (const double sigma : sigmas) {
+      for (const double omit : omits) {
+        const bool faulty = f > 0 || sigma > 0.0 || omit > 0.0;
+        int byOutcome[4] = {0, 0, 0, 0};
+        int approx = 0;
+        std::vector<double> events;
+        for (int s = 0; s < kSeeds; ++s) {
+          // Reference configurations: identical to bench_scheduler's
+          // ASYNC earlyStop=0.5 row so the clean cell cross-checks it.
+          config::Rng rng(810 + s);
+          const auto start = config::randomConfiguration(kN, rng, 5.0, 0.1);
+          const auto pattern = io::randomPatternByName(kN, 90 + s);
+          RunSpec spec;
+          spec.sched = sched::SchedulerKind::Async;
+          spec.seed = 23 * s + 9;
+          spec.earlyStopProb = 0.5;
+          // Clean reference cell keeps bench_scheduler's event budget;
+          // fault cells cap earlier (clean runs settle in ~1.2k events, and
+          // sensor-faulted runs cannot end by quiescence, only by success
+          // poll or this cap) — a faulted run that has not settled within
+          // 50x the clean budget is the degradation being measured.
+          spec.maxEvents = faulty ? 60000 : 2000000;
+          spec.fault.noiseSigma = sigma;
+          spec.fault.omitProb = omit;
+          spec.fault.seed = spec.seed;
+          if (f > 0) {
+            // Crashes land inside the active phase of a typical clean run
+            // (events_mean ~1.2k): the adversary strikes while it hurts.
+            spec.fault.crashes =
+                fault::planWithRandomCrashes(kN, f, spec.seed, 800).crashes;
+          }
+          spec.label = "faults";
+          const auto res = runOnce(start, pattern, algo, spec);
+          byOutcome[static_cast<int>(res.outcome)] += 1;
+          if (config::similar(res.finalPositions, pattern,
+                              geom::Tol{2e-2, 2e-2})) {
+            ++approx;
+          }
+          events.push_back(static_cast<double>(res.metrics.events));
+        }
+        auto frac = [&](sim::Outcome o) {
+          return std::to_string(byOutcome[static_cast<int>(o)]) + "/" +
+                 std::to_string(kSeeds);
+        };
+        table.row({std::to_string(f), io::fmt(sigma, 2), io::fmt(omit, 2),
+                   frac(sim::Outcome::Success), std::to_string(approx) + "/" +
+                       std::to_string(kSeeds),
+                   frac(sim::Outcome::CrashedShort),
+                   frac(sim::Outcome::Stalled),
+                   frac(sim::Outcome::SafetyViolation),
+                   io::fmt(statsOf(events).mean, 0)});
+      }
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -24,6 +24,7 @@
 
 #include "config/configuration.h"
 #include "config/generator.h"
+#include "fault/fault.h"
 #include "io/csv.h"
 #include "io/patterns.h"
 #include "obs/manifest.h"
@@ -41,6 +42,9 @@ struct RunSpec {
   double activationProb = 0.5;
   bool multiplicity = false;
   bool commonChirality = false;
+  /// Fault injectors for this run (empty = faithful paper model); always
+  /// recorded in the run manifest under `fault.*`.
+  fault::FaultPlan fault;
   /// Free-form label recorded in the run manifest (e.g. pattern name).
   std::string label;
 };
@@ -73,6 +77,7 @@ inline sim::RunResult runOnce(const config::Configuration& start,
   opts.sched.delta = spec.delta;
   opts.sched.earlyStopProb = spec.earlyStopProb;
   opts.sched.activationProb = spec.activationProb;
+  opts.fault = spec.fault;
 
   const char* dir = obsDir();
   std::unique_ptr<obs::JsonlRecorder> sink;

@@ -5,13 +5,17 @@
 /// fixed-size POD so the hot path never allocates; sinks decide how (and
 /// whether) to serialize it.
 ///
-/// Event stream contract (enforced by tests/obs_test.cpp):
+/// Event stream contract (enforced by tests/obs_test.cpp and
+/// tests/fault_test.cpp):
 ///  * a run emits exactly one RunStart (index 0) and one RunEnd (last);
 ///  * indexes are dense and strictly increasing;
 ///  * one Compute event is emitted per algorithm activation, so the
 ///    per-phase Compute counts of a log equal `Metrics::phaseActivations`;
 ///  * every ElectionRound is paired with the Compute of the same
-///    activation (same robot, same scheduler event).
+///    activation (same robot, same scheduler event);
+///  * one FaultInjected event is emitted per injected fault, so a log's
+///    FaultInjected count equals `Metrics::faultsInjected`, and its
+///    RobotCrashed count equals `Metrics::crashed`.
 
 #include <cstdint>
 
@@ -25,11 +29,29 @@ enum class EventKind : std::uint8_t {
   CycleComplete,    ///< robot finished a Look-Compute-Move cycle
   PhaseTransition,  ///< robot's computed phase tag changed
   ElectionRound,    ///< a Compute flipped the election's random bit
+  FaultInjected,    ///< a sensor/compute fault fired (see Event::faultKind)
+  RobotCrashed,     ///< a crash-stop fault permanently halted a robot
   RunEnd,           ///< engine finished (robot = -1)
 };
 
 /// Stable wire name (used as the "ev" field of JSONL lines).
 const char* eventKindName(EventKind kind);
+
+/// Which injector produced a FaultInjected/RobotCrashed event. Kept here —
+/// not in src/fault — because it is telemetry vocabulary: sinks and
+/// apf_report must name fault kinds without depending on the fault library.
+enum class FaultKind : std::uint8_t {
+  None,
+  Crash,             ///< crash-stop: robot halted forever
+  SensorNoise,       ///< snapshot positions perturbed by Gaussian noise
+  SensorOmission,    ///< >= 1 robot omitted from a snapshot
+  MultiplicityFlip,  ///< multiplicity under/over-count in a snapshot
+  ComputeDrop,       ///< computed path discarded before moving
+  ComputeTruncate,   ///< computed path truncated below its full length
+};
+
+/// Stable wire name (the "fault" field of JSONL lines).
+const char* faultKindName(FaultKind kind);
 
 struct Event {
   EventKind kind = EventKind::RunStart;
@@ -56,10 +78,15 @@ struct Event {
   std::uint64_t staleness = 0;
   /// Compute: wall time of the algorithm call (0 unless timing enabled).
   std::uint64_t durNanos = 0;
-  /// MoveStep: distance advanced by this step; RunEnd: total distance.
+  /// MoveStep: distance advanced by this step; RunEnd: total distance;
+  /// FaultInjected: fault magnitude (omitted-robot count for
+  /// SensorOmission, truncation fraction for ComputeTruncate, sigma for
+  /// SensorNoise).
   double distance = 0.0;
   /// MoveStep: path completed; RunEnd: run succeeded.
   bool flag = false;
+  /// FaultInjected / RobotCrashed: which injector fired.
+  FaultKind faultKind = FaultKind::None;
 };
 
 }  // namespace apf::obs

@@ -22,8 +22,32 @@ const char* eventKindName(EventKind kind) {
       return "phase_transition";
     case EventKind::ElectionRound:
       return "election_round";
+    case EventKind::FaultInjected:
+      return "fault_injected";
+    case EventKind::RobotCrashed:
+      return "robot_crashed";
     case EventKind::RunEnd:
       return "run_end";
+  }
+  return "?";
+}
+
+const char* faultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::None:
+      return "none";
+    case FaultKind::Crash:
+      return "crash";
+    case FaultKind::SensorNoise:
+      return "sensor_noise";
+    case FaultKind::SensorOmission:
+      return "sensor_omission";
+    case FaultKind::MultiplicityFlip:
+      return "multiplicity_flip";
+    case FaultKind::ComputeDrop:
+      return "compute_drop";
+    case FaultKind::ComputeTruncate:
+      return "compute_truncate";
   }
   return "?";
 }
@@ -58,6 +82,13 @@ std::string toJsonLine(const Event& e) {
       w.field("phase", e.phaseTag);
       w.field("dist", e.distance);
       w.field("done", e.flag);
+      break;
+    case EventKind::FaultInjected:
+      w.field("fault", faultKindName(e.faultKind));
+      if (e.distance != 0.0) w.field("mag", e.distance);
+      break;
+    case EventKind::RobotCrashed:
+      w.field("fault", faultKindName(e.faultKind));
       break;
     case EventKind::RunEnd:
       w.field("dist", e.distance);

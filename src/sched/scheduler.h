@@ -40,6 +40,9 @@ struct ScriptedEvent {
     Compute,  ///< robot computes on its stored snapshot
     Move,     ///< robot advances along its path by `distance` (clamped to
               ///< [delta, remaining]; 0 means "to the destination")
+    Crash,    ///< crash-stop fault: the robot halts exactly where it is
+              ///< (mid-path included) and never acts again; it stays
+              ///< visible to every later snapshot
   };
   std::size_t robot = 0;
   Op op = Op::Look;

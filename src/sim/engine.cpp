@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "config/similarity.h"
 #include "geom/angle.h"
@@ -36,6 +37,15 @@ Engine::Engine(Configuration start, Configuration pattern,
     }
     r.frame = Similarity(angle, scale, reflect, {});
     r.frameInv = r.frame.inverse();
+  }
+  if (const auto err = fault::validate(opts_.fault)) {
+    throw std::invalid_argument("EngineOptions::fault: " + *err);
+  }
+  faultsOn_ = opts_.fault.active();
+  if (faultsOn_) {
+    faultRng_.seed(fault::faultStreamSeed(opts_.seed, opts_.fault.seed));
+    crashFired_.assign(opts_.fault.crashes.size(), false);
+    patternHasMultiplicity_ = pattern_.hasMultiplicity();
   }
   recorder_ = opts_.recorder;
   timed_ = opts_.collectTimings || recorder_ != nullptr;
@@ -73,6 +83,156 @@ Snapshot Engine::takeSnapshot(std::size_t i) const {
   return snap;
 }
 
+void Engine::applyPendingCrashes() {
+  const auto& crashes = opts_.fault.crashes;
+  for (std::size_t k = 0; k < crashes.size(); ++k) {
+    if (crashFired_[k] || metrics_.events < crashes[k].atEvent) continue;
+    crashFired_[k] = true;
+    if (crashes[k].robot < robots_.size()) {
+      crashRobot(crashes[k].robot, obs::FaultKind::Crash);
+    }
+  }
+}
+
+void Engine::crashRobot(std::size_t i, obs::FaultKind kind) {
+  Robot& r = robots_[i];
+  if (r.crashed) return;
+  // Crash-stop: the robot freezes exactly where it stands — a mid-Move
+  // robot stays on its committed path and remains visible to every later
+  // snapshot; it just never acts again.
+  r.crashed = true;
+  r.phase = Phase::Idle;
+  ++crashedCount_;
+  metrics_.crashed += 1;
+  if (recorder_) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::RobotCrashed;
+    ev.robot = static_cast<std::int64_t>(i);
+    ev.faultKind = kind;
+    emit(ev);
+  }
+}
+
+void Engine::recordFault(std::size_t robot, obs::FaultKind kind,
+                         double magnitude) {
+  metrics_.faultsInjected += 1;
+  if (recorder_) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::FaultInjected;
+    ev.robot = static_cast<std::int64_t>(robot);
+    ev.faultKind = kind;
+    ev.distance = magnitude;
+    emit(ev);
+  }
+}
+
+void Engine::applyLookFaults(std::size_t i) {
+  const fault::FaultPlan& fp = opts_.fault;
+  if (!fp.sensorActive()) return;
+  Robot& r = robots_[i];
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::normal_distribution<double> gauss(0.0, fp.noiseSigma);
+  const auto& pts = r.snap.robots.points();
+  std::vector<Vec2> kept;
+  kept.reserve(pts.size());
+  std::size_t newSelf = 0;
+  std::size_t omitted = 0;
+  for (std::size_t j = 0; j < pts.size(); ++j) {
+    if (j == r.snap.selfIndex) {
+      // A robot always perceives itself (at its local origin), exactly.
+      newSelf = kept.size();
+      kept.push_back(pts[j]);
+      continue;
+    }
+    if (fp.omitProb > 0.0 && u(faultRng_) < fp.omitProb) {
+      ++omitted;
+      continue;
+    }
+    Vec2 p = pts[j];
+    if (fp.noiseSigma > 0.0) {
+      // Sigma is in global units; the frame is linear (zero translation),
+      // so a global noise vector maps through applyLinear and composes
+      // additively with the observed offset.
+      p += r.frame.applyLinear(Vec2{gauss(faultRng_), gauss(faultRng_)});
+    }
+    kept.push_back(p);
+  }
+  bool flipped = false;
+  if (fp.multFlipProb > 0.0 && kept.size() >= 2 &&
+      u(faultRng_) < fp.multFlipProb) {
+    // Under-count when a multiplicity is visible (one co-located point
+    // vanishes), over-count otherwise (a random point doubles).
+    std::size_t dropIdx = kept.size();
+    const geom::Tol tol{1e-9, 1e-9};
+    for (std::size_t a = 0; a + 1 < kept.size() && dropIdx == kept.size();
+         ++a) {
+      for (std::size_t b = a + 1; b < kept.size(); ++b) {
+        if (geom::dist(kept[a], kept[b]) <= tol.dist) {
+          dropIdx = (b == newSelf) ? a : b;
+          break;
+        }
+      }
+    }
+    if (dropIdx < kept.size()) {
+      kept.erase(kept.begin() + static_cast<std::ptrdiff_t>(dropIdx));
+      if (dropIdx < newSelf) --newSelf;
+    } else {
+      kept.push_back(kept[faultRng_() % kept.size()]);
+    }
+    flipped = true;
+  }
+  const bool noisy = fp.noiseSigma > 0.0 && kept.size() > 1;
+  r.snap.robots = config::Configuration(std::move(kept));
+  r.snap.selfIndex = newSelf;
+  if (noisy) recordFault(i, obs::FaultKind::SensorNoise, fp.noiseSigma);
+  if (omitted > 0) {
+    recordFault(i, obs::FaultKind::SensorOmission,
+                static_cast<double>(omitted));
+  }
+  if (flipped) recordFault(i, obs::FaultKind::MultiplicityFlip, 0.0);
+}
+
+bool Engine::applyComputeFaults(std::size_t i, Action& act) {
+  const fault::FaultPlan& fp = opts_.fault;
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  if (fp.dropProb > 0.0 && u(faultRng_) < fp.dropProb) {
+    // Motor never engages: the computed path is discarded and the robot
+    // finishes its cycle where it stands (but is NOT quiescent — it
+    // wanted to move).
+    recordFault(i, obs::FaultKind::ComputeDrop, 0.0);
+    act.path = geom::Path{};
+    return false;
+  }
+  if (fp.truncProb > 0.0 && u(faultRng_) < fp.truncProb) {
+    // Motor stall: the robot will execute only a uniform fraction of its
+    // path — possibly less than delta, beyond what non-rigid movement
+    // already permits.
+    const double frac = u(faultRng_);
+    robots_[i].pathLimit = frac * act.path.length();
+    recordFault(i, obs::FaultKind::ComputeTruncate, frac);
+  }
+  return true;
+}
+
+void Engine::checkLiveSafety() {
+  // Multiplicity in the TARGET is intended; anything else among live
+  // robots is a collision the fault mix provoked.
+  if (safetyViolated_ || patternHasMultiplicity_) return;
+  const geom::Tol tol{1e-9, 1e-9};
+  if (crashedCount_ == 0) {
+    if (current_.hasMultiplicity(tol)) safetyViolated_ = true;
+    return;
+  }
+  std::vector<Vec2> live;
+  live.reserve(current_.size());
+  for (std::size_t j = 0; j < robots_.size(); ++j) {
+    if (!robots_[j].crashed) live.push_back(current_[j]);
+  }
+  if (config::Configuration(std::move(live)).hasMultiplicity(tol)) {
+    safetyViolated_ = true;
+  }
+}
+
 Action Engine::computeFor(std::size_t i, sched::RandomSource& rng) {
   Robot& r = robots_[i];
   Action local = algo_.compute(r.snap, rng);
@@ -98,6 +258,7 @@ void Engine::look(std::size_t i) {
     ev.robot = static_cast<std::int64_t>(i);
     emit(ev);
   }
+  if (faultsOn_) applyLookFaults(i);
 }
 
 bool Engine::compute(std::size_t i) {
@@ -139,11 +300,24 @@ bool Engine::compute(std::size_t i) {
     }
   }
   r.phaseTag = act.phaseTag;
+  bool dropped = false;
+  if (act.isMove()) {
+    r.pathLimit = act.path.length();
+    if (faultsOn_ && opts_.fault.computeActive()) {
+      dropped = !applyComputeFaults(i, act);
+    }
+  }
   if (!act.isMove()) {
     // An empty, randomness-free decision counts toward quiescence, credited
     // to the configuration version the decision was actually based on (the
-    // snapshot may be stale by compute time).
-    r.quietVersion = (bitsUsed == 0) ? r.snapVersion : 0;
+    // snapshot may be stale by compute time). A dropped path never counts:
+    // the robot wanted to move. Neither does any decision based on a
+    // stochastically faulted snapshot (noise/omission/mult-flip): "stayed
+    // once" does not imply "stays forever" when the next Look may perceive
+    // a different world, so such runs end only on success or event budget.
+    const bool provablyQuiet =
+        bitsUsed == 0 && !dropped && !(faultsOn_ && opts_.fault.sensorActive());
+    r.quietVersion = provablyQuiet ? r.snapVersion : 0;
     completeCycle(i);
     return false;
   }
@@ -158,7 +332,9 @@ bool Engine::moveStep(std::size_t i, bool full) {
   Robot& r = robots_[i];
   const std::uint64_t t0 = timed_ ? obs::nowNanos() : 0;
   r.phase = Phase::Moving;
-  const double remaining = r.path.length() - r.progress;
+  // pathLimit == path.length() unless a ComputeTruncate fault stalled the
+  // motor early; progress never exceeds it.
+  const double remaining = r.pathLimit - r.progress;
   double d = remaining;
   if (!full && remaining > opts_.sched.delta) {
     auto& adv = rng_.adversaryEngine();
@@ -175,9 +351,10 @@ bool Engine::moveStep(std::size_t i, bool full) {
   if (timed_) metrics_.moveTime.add(obs::nowNanos() - t0);
   if (d > 0.0) {
     ++configVersion_;
+    if (faultsOn_) checkLiveSafety();
     if (observer_) observer_(*this, i);
   }
-  const bool done = r.progress >= r.path.length() - 1e-15;
+  const bool done = r.progress >= r.pathLimit - 1e-15;
   if (recorder_) {
     obs::Event ev;
     ev.kind = obs::EventKind::MoveStep;
@@ -204,29 +381,42 @@ void Engine::completeCycle(std::size_t i) {
 }
 
 void Engine::fsyncRound() {
-  // Lock-step: everyone Looks at the same configuration, then everyone
-  // Computes, then all moves are executed fully and simultaneously.
-  for (std::size_t i = 0; i < robots_.size(); ++i) look(i);
+  // Lock-step: every live robot Looks at the same configuration, then
+  // everyone Computes, then all moves are executed fully and
+  // simultaneously. Crashed robots are inert but stay observable.
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < robots_.size(); ++i) {
+    if (robots_[i].crashed) continue;
+    look(i);
+    ++live;
+  }
   std::vector<std::size_t> movers;
   for (std::size_t i = 0; i < robots_.size(); ++i) {
+    if (robots_[i].crashed) continue;
     if (compute(i)) movers.push_back(i);
   }
   for (std::size_t i : movers) moveStep(i, /*full=*/true);
-  metrics_.events += robots_.size();
+  metrics_.events += live;
 }
 
 void Engine::ssyncRound() {
   auto& adv = rng_.adversaryEngine();
   std::uniform_real_distribution<double> u(0.0, 1.0);
-  std::vector<std::size_t> active;
+  std::vector<std::size_t> liveIdx;
+  liveIdx.reserve(robots_.size());
   for (std::size_t i = 0; i < robots_.size(); ++i) {
+    if (!robots_[i].crashed) liveIdx.push_back(i);
+  }
+  if (liveIdx.empty()) return;
+  std::vector<std::size_t> active;
+  for (std::size_t i : liveIdx) {
     if (u(adv) < opts_.sched.activationProb ||
         robots_[i].sinceProgress > opts_.sched.fairnessBound) {
       active.push_back(i);
     }
   }
   if (active.empty()) {
-    active.push_back(adv() % robots_.size());
+    active.push_back(liveIdx[adv() % liveIdx.size()]);
   }
   for (std::size_t i : active) look(i);
   std::vector<std::size_t> movers;
@@ -260,8 +450,12 @@ std::size_t Engine::pickRobot(const std::vector<std::size_t>& eligible) {
 }
 
 void Engine::asyncEvent() {
-  std::vector<std::size_t> eligible(robots_.size());
-  for (std::size_t i = 0; i < eligible.size(); ++i) eligible[i] = i;
+  std::vector<std::size_t> eligible;
+  eligible.reserve(robots_.size());
+  for (std::size_t i = 0; i < robots_.size(); ++i) {
+    if (!robots_[i].crashed) eligible.push_back(i);
+  }
+  if (eligible.empty()) return;
   const std::size_t i = pickRobot(eligible);
   Robot& r = robots_[i];
   switch (r.phase) {
@@ -292,7 +486,11 @@ void Engine::scriptedEvent() {
   metrics_.events += 1;
   if (ev.robot >= robots_.size()) return;
   Robot& r = robots_[ev.robot];
+  if (r.crashed) return;  // crash-stop: every later op is a no-op
   switch (ev.op) {
+    case sched::ScriptedEvent::Op::Crash:
+      crashRobot(ev.robot, obs::FaultKind::Crash);
+      break;
     case sched::ScriptedEvent::Op::Look:
       if (r.phase == Phase::Idle) look(ev.robot);
       break;
@@ -307,7 +505,7 @@ void Engine::scriptedEvent() {
       }
       // Explicit distance, clamped to the model's [delta, remaining].
       r.phase = Phase::Moving;
-      const double remaining = r.path.length() - r.progress;
+      const double remaining = r.pathLimit - r.progress;
       const double d =
           std::min(remaining, std::max(ev.distance, opts_.sched.delta));
       r.progress += d;
@@ -315,9 +513,10 @@ void Engine::scriptedEvent() {
       metrics_.distance += d;
       if (d > 0.0) {
         ++configVersion_;
+        if (faultsOn_) checkLiveSafety();
         if (observer_) observer_(*this, ev.robot);
       }
-      const bool done = r.progress >= r.path.length() - 1e-15;
+      const bool done = r.progress >= r.pathLimit - 1e-15;
       if (recorder_) {
         obs::Event step;
         step.kind = obs::EventKind::MoveStep;
@@ -335,6 +534,7 @@ void Engine::scriptedEvent() {
 
 bool Engine::isTerminal() const {
   for (const Robot& r : robots_) {
+    if (r.crashed) continue;  // a crashed robot is quiescent by force
     if (r.phase == Phase::Ready || r.phase == Phase::Moving) return false;
     if (r.quietVersion != configVersion_) return false;
   }
@@ -348,7 +548,60 @@ bool Engine::success() const {
   return config::similar(current_, pattern_, geom::Tol{1e-6, 1e-6});
 }
 
+bool Engine::liveSuccess() const {
+  if (crashedCount_ == 0) return success();
+  const std::size_t n = pattern_.size();
+  const std::size_t f = crashedCount_;
+  if (f >= n) return false;
+  std::vector<Vec2> livePts;
+  livePts.reserve(n - f);
+  for (std::size_t i = 0; i < robots_.size(); ++i) {
+    if (!robots_[i].crashed) livePts.push_back(current_[i]);
+  }
+  const Configuration live(std::move(livePts));
+  // The f crashed robots forfeit f pattern points, but which ones is the
+  // adversary's secret: accept the live robots forming the pattern minus
+  // ANY f-point subset. C(n, f) is tiny for the f <= 2 regime the
+  // benchmarks sweep; guard exotic callers anyway.
+  double combos = 1.0;
+  for (std::size_t k = 0; k < f; ++k) {
+    combos *= static_cast<double>(n - k) / static_cast<double>(k + 1);
+  }
+  if (combos > 50000.0) return false;
+  const geom::Tol tol{1e-6, 1e-6};
+  std::vector<std::size_t> drop(f);
+  for (std::size_t k = 0; k < f; ++k) drop[k] = k;
+  while (true) {
+    std::vector<Vec2> reduced;
+    reduced.reserve(n - f);
+    std::size_t di = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (di < f && drop[di] == j) {
+        ++di;
+        continue;
+      }
+      reduced.push_back(pattern_[j]);
+    }
+    if (config::similar(live, Configuration(std::move(reduced)), tol)) {
+      return true;
+    }
+    // Advance to the lexicographically next f-combination of [0, n).
+    std::size_t k = f;
+    bool advanced = false;
+    while (k-- > 0) {
+      if (drop[k] + (f - k) < n) {
+        ++drop[k];
+        for (std::size_t l = k + 1; l < f; ++l) drop[l] = drop[l - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return false;
+  }
+}
+
 bool Engine::step() {
+  if (faultsOn_ && !opts_.fault.crashes.empty()) applyPendingCrashes();
   if (isTerminal()) return false;
   switch (opts_.sched.kind) {
     case sched::SchedulerKind::FSync:
@@ -369,13 +622,35 @@ bool Engine::step() {
 
 RunResult Engine::run() {
   RunResult res;
+  // With stochastic sensor faults quiescence is never inferred (see
+  // compute()), so poll for pattern formation instead — throttled, since
+  // similarity matching is much dearer than a scheduler event.
+  const bool pollSuccess = faultsOn_ && opts_.fault.sensorActive();
+  std::uint64_t lastPoll = 0;
   while (metrics_.events < opts_.maxEvents) {
     if (!step()) {
       res.terminated = true;
       break;
     }
+    if (pollSuccess && metrics_.events - lastPoll >= 512) {
+      lastPoll = metrics_.events;
+      if (success()) {
+        res.terminated = true;
+        break;
+      }
+    }
   }
   res.success = success();
+  if (safetyViolated_) {
+    res.outcome = Outcome::SafetyViolation;
+  } else if (crashedCount_ == 0 ? res.success : liveSuccess()) {
+    res.outcome = Outcome::Success;
+  } else if (crashedCount_ > 0) {
+    res.outcome = Outcome::CrashedShort;
+  } else {
+    res.outcome = Outcome::Stalled;
+  }
+  res.finalPositions = current_;
   res.metrics = metrics_;
   if (recorder_) {
     obs::Event ev;
@@ -405,6 +680,7 @@ obs::Manifest describeRun(const EngineOptions& opts,
   m.set("engine.script_events",
         static_cast<std::uint64_t>(opts.script.size()));
   sched::appendManifest(opts.sched, m);
+  fault::appendManifest(opts.fault, m);
   return m;
 }
 
@@ -412,6 +688,9 @@ void appendResult(obs::Manifest& m, const RunResult& res) {
   const Metrics& mx = res.metrics;
   m.set("result.terminated", res.terminated);
   m.set("result.success", res.success);
+  m.set("result.outcome", outcomeName(res.outcome));
+  m.set("result.crashed", mx.crashed);
+  m.set("result.faults_injected", mx.faultsInjected);
   m.set("result.cycles", mx.cycles);
   m.set("result.events", mx.events);
   m.set("result.random_bits", mx.randomBits);

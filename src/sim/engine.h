@@ -20,12 +20,19 @@
 ///    exactly on its circle.
 ///  * Fairness: every robot is activated within any window of
 ///    `fairnessBound` scheduler events.
+///  * Fault injection (beyond the paper's model; see docs/FAULTS.md): an
+///    optional FaultPlan adds crash-stop robots, noisy/omitted snapshots,
+///    and dropped/truncated paths. Fault draws use a dedicated RNG stream,
+///    so an empty plan leaves runs bit-identical to a fault-free build
+///    (tests/fault_test.cpp).
 
 #include <functional>
+#include <random>
 #include <string>
 #include <vector>
 
 #include "config/configuration.h"
+#include "fault/fault.h"
 #include "obs/event.h"
 #include "obs/manifest.h"
 #include "sched/rng.h"
@@ -63,6 +70,11 @@ struct EngineOptions {
   /// phaseNanos). Implied by a non-null recorder; off by default because
   /// clock reads are not free on the hot path.
   bool collectTimings = false;
+  /// Fault injectors applied to this run. The default (empty) plan pays
+  /// one branch per event and keeps the run bit-identical to a fault-free
+  /// build; the engine constructor throws std::invalid_argument on an
+  /// invalid plan (fault::validate).
+  fault::FaultPlan fault;
 };
 
 /// Drives one execution of an algorithm from a start configuration toward a
@@ -94,6 +106,18 @@ class Engine {
   /// True when the current configuration is similar to the pattern.
   bool success() const;
 
+  /// n-f success: with f crashed robots, true when the live robots form
+  /// the pattern minus some f-point subset (equals success() when f = 0).
+  bool liveSuccess() const;
+
+  /// True when robot i was halted by a crash-stop fault.
+  bool isCrashed(std::size_t i) const { return robots_[i].crashed; }
+  /// Robots halted by crash-stop faults so far.
+  std::size_t crashedCount() const { return crashedCount_; }
+  /// True when fault injection detected an unintended multiplicity point
+  /// among live robots (only checked while a FaultPlan is active).
+  bool safetyViolated() const { return safetyViolated_; }
+
   /// Called after every event that changes positions (for traces/SVG).
   using Observer = std::function<void(const Engine&, std::size_t robot)>;
   void setObserver(Observer obs) { observer_ = std::move(obs); }
@@ -107,7 +131,11 @@ class Engine {
     Phase phase = Phase::Idle;
     Snapshot snap;        ///< captured at Look
     geom::Path path;      ///< global-frame path being executed
-    double progress = 0;  ///< arclength already traveled
+    /// Arclength the robot will actually execute: path.length() normally,
+    /// less when a ComputeTruncate fault stalled the motor early.
+    double pathLimit = 0;
+    bool crashed = false;  ///< crash-stop fault fired; never acts again
+    double progress = 0;   ///< arclength already traveled
     int sinceProgress = 0;
     int phaseTag = 0;
     /// Configuration version on which this robot last completed an empty,
@@ -122,6 +150,21 @@ class Engine {
   void emit(obs::Event ev);
 
   Snapshot takeSnapshot(std::size_t i) const;
+  /// Fires every planned crash whose event threshold has been reached.
+  void applyPendingCrashes();
+  /// Halts robot i forever, exactly where it stands (mid-path included).
+  void crashRobot(std::size_t i, obs::FaultKind kind);
+  /// Applies sensor faults (noise/omission/multiplicity flips) to robot
+  /// i's freshly captured snapshot.
+  void applyLookFaults(std::size_t i);
+  /// Applies compute faults (drop/truncate) to a move-producing action;
+  /// returns false when the action was dropped entirely.
+  bool applyComputeFaults(std::size_t i, Action& act);
+  /// Flags `safetyViolated_` when live robots form an unintended
+  /// multiplicity point (fault runs only).
+  void checkLiveSafety();
+  /// Emits a FaultInjected event and counts it in the metrics.
+  void recordFault(std::size_t robot, obs::FaultKind kind, double magnitude);
   /// Runs the algorithm for robot i on its stored snapshot; returns the
   /// global-frame action.
   Action computeFor(std::size_t i, sched::RandomSource& rng);
@@ -154,6 +197,15 @@ class Engine {
 
   std::uint64_t configVersion_ = 1;
   std::size_t scriptPos_ = 0;
+
+  /// Fault-injection state. `faultsOn_` caches plan.active() so the
+  /// fault-free hot path pays exactly one branch per event.
+  bool faultsOn_ = false;
+  std::mt19937_64 faultRng_;
+  std::vector<bool> crashFired_;
+  std::size_t crashedCount_ = 0;
+  bool safetyViolated_ = false;
+  bool patternHasMultiplicity_ = false;
 };
 
 /// Builds the reproducibility manifest for a run: seed, every

@@ -7,6 +7,42 @@
 
 namespace apf::sim {
 
+namespace {
+
+/// Positions of the non-crashed robots (== all robots on clean runs).
+config::Configuration livePositions(const Engine& e) {
+  const config::Configuration& all = e.positions();
+  if (e.crashedCount() == 0) return all;
+  std::vector<geom::Vec2> live;
+  live.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (!e.isCrashed(i)) live.push_back(all[i]);
+  }
+  return config::Configuration(std::move(live));
+}
+
+fault::FaultPlan planForRun(const FuzzOptions& opts, std::size_t n,
+                            std::uint64_t engineSeed) {
+  fault::FaultPlan plan;
+  if (!opts.faultsRequested()) return plan;
+  plan.noiseSigma = opts.noiseSigma;
+  plan.omitProb = opts.omitProb;
+  plan.multFlipProb = opts.multFlipProb;
+  plan.dropProb = opts.dropProb;
+  plan.truncProb = opts.truncProb;
+  plan.seed = engineSeed;
+  if (opts.crashCount > 0) {
+    // Re-draw victims and crash timings per run: a campaign should explore
+    // many crash interleavings, not one.
+    plan.crashes = fault::planWithRandomCrashes(n, opts.crashCount,
+                                                engineSeed, opts.crashHorizon)
+                       .crashes;
+  }
+  return plan;
+}
+
+}  // namespace
+
 FuzzResult fuzzSchedules(const Algorithm& algo,
                          const config::Configuration& start,
                          const config::Configuration& pattern,
@@ -28,26 +64,37 @@ FuzzResult fuzzSchedules(const Algorithm& algo,
     eopts.sched.delta = opts.delta;
     eopts.sched.earlyStopProb =
         opts.sweepAggression ? aggression[run % 3] : 0.5;
+    eopts.fault = planForRun(opts, start.size(), eopts.seed);
     Engine eng(start, pattern, algo, eopts);
 
+    std::string violation;  // first violation of THIS run
     eng.setObserver([&](const Engine& e, std::size_t robot) {
       seen.insert(config::canonicalSignature(e.positions()));
-      if (out.collisionFree && !patternHasMultiplicity &&
-          e.positions().hasMultiplicity(geom::Tol{1e-9, 1e-9})) {
+      const config::Configuration live = livePositions(e);
+      if (live.size() < 2) return;
+      if (!patternHasMultiplicity &&
+          live.hasMultiplicity(geom::Tol{1e-9, 1e-9})) {
         out.collisionFree = false;
-        std::ostringstream os;
-        os << "collision: run " << run << ", event " << e.metrics().events
-           << ", robot " << robot;
-        if (out.firstViolation.empty()) out.firstViolation = os.str();
+        if (violation.empty()) {
+          std::ostringstream os;
+          os << "collision: run " << run << ", event " << e.metrics().events
+             << ", robot " << robot;
+          if (e.crashedCount() > 0) {
+            os << " (" << e.crashedCount() << " crashed)";
+          }
+          violation = os.str();
+        }
       }
-      const double growth = e.positions().sec().radius / startSec;
+      const double growth = live.sec().radius / startSec;
       out.maxSecGrowthFactor = std::max(out.maxSecGrowthFactor, growth);
-      if (out.secBounded && growth > FuzzResult::kSecGrowthBound) {
+      if (growth > FuzzResult::kSecGrowthBound) {
         out.secBounded = false;
-        std::ostringstream os;
-        os << "SEC grew x" << growth << ": run " << run << ", event "
-           << e.metrics().events;
-        if (out.firstViolation.empty()) out.firstViolation = os.str();
+        if (violation.empty()) {
+          std::ostringstream os;
+          os << "SEC grew x" << growth << ": run " << run << ", event "
+             << e.metrics().events;
+          violation = os.str();
+        }
       }
     });
 
@@ -55,6 +102,12 @@ FuzzResult fuzzSchedules(const Algorithm& algo,
     ++out.runs;
     out.terminated += res.terminated;
     out.successes += res.success;
+    out.outcomes[res.outcome] += 1;
+    if (!violation.empty()) {
+      out.failures.push_back(
+          {eopts.seed, eopts.sched.earlyStopProb, violation});
+      if (out.firstViolation.empty()) out.firstViolation = violation;
+    }
   }
   out.distinctConfigurations = seen.size();
   return out;

@@ -8,10 +8,21 @@
 /// This is the repository's stand-in for the paper's hand proofs of the
 /// ASYNC invariants: it cannot prove, but it hunts counterexamples
 /// systematically and is cheap enough to run inside the test suite.
+///
+/// Fault-aware campaigns: the same invariants are checked for the LIVE
+/// robots while a FaultPlan (crash-stop robots, sensor noise/omission,
+/// compute faults) is active — the degradation question is not only "does
+/// the pattern still form" but "do the survivors at least stay safe".
+/// Every run that violates an invariant is surfaced in
+/// FuzzResult::failures with its exact seed and adversary aggression, so a
+/// CI log line is enough to reproduce the counterexample.
 
+#include <map>
 #include <string>
+#include <vector>
 
 #include "config/configuration.h"
+#include "fault/fault.h"
 #include "sim/algorithm.h"
 #include "sim/engine.h"
 
@@ -29,24 +40,60 @@ struct FuzzOptions {
   /// Expect every run to terminate successfully (pattern formed); when
   /// false only safety is checked.
   bool expectSuccess = true;
+
+  // --- fault campaign knobs (all off by default) -----------------------
+  /// Crash-stop faults per run; victims and crash events are re-drawn per
+  /// run from the engine seed, so a campaign explores many crash timings.
+  int crashCount = 0;
+  /// Scheduler-event horizon within which crashes are scheduled.
+  std::uint64_t crashHorizon = 4000;
+  /// Sensor/compute fault probabilities, applied to every run (see
+  /// fault::FaultPlan for semantics).
+  double noiseSigma = 0.0;
+  double omitProb = 0.0;
+  double multFlipProb = 0.0;
+  double dropProb = 0.0;
+  double truncProb = 0.0;
+
+  bool faultsRequested() const {
+    return crashCount > 0 || noiseSigma > 0.0 || omitProb > 0.0 ||
+           multFlipProb > 0.0 || dropProb > 0.0 || truncProb > 0.0;
+  }
+};
+
+/// One run that violated a safety invariant: everything needed to replay
+/// it (plug seed/earlyStopProb into EngineOptions with the same start,
+/// pattern, and FuzzOptions-derived FaultPlan).
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  double earlyStopProb = 0.0;
+  std::string violation;
 };
 
 struct FuzzResult {
   int runs = 0;
   int terminated = 0;
   int successes = 0;
+  /// Run-outcome tally (Outcome enum order: success, stalled,
+  /// crashed_short, safety_violation).
+  std::map<Outcome, int> outcomes;
   /// Distinct configurations (up to similarity) seen across ALL runs.
   std::size_t distinctConfigurations = 0;
-  /// Safety: no unintended multiplicity point was ever created.
+  /// Safety: no unintended multiplicity point was ever created among live
+  /// (non-crashed) robots.
   bool collisionFree = true;
-  /// Safety: the enclosing circle stays bounded. It may grow slightly
-  /// during the election (outward walk steps of |r|/7 — the algorithm is
-  /// scale-free and renormalizes every Look), but never by more than the
-  /// generous factor below; psi_DPF then holds it exactly.
+  /// Safety: the enclosing circle of the live robots stays bounded. It may
+  /// grow slightly during the election (outward walk steps of |r|/7 — the
+  /// algorithm is scale-free and renormalizes every Look), but never by
+  /// more than the generous factor below; psi_DPF then holds it exactly.
   bool secBounded = true;
   double maxSecGrowthFactor = 1.0;
   static constexpr double kSecGrowthBound = 2.0;
-  /// First violation, human-readable (empty when clean).
+  /// Every run that violated an invariant, with its replay coordinates.
+  /// Empty when clean; failures.front().violation == firstViolation.
+  std::vector<FuzzFailure> failures;
+  /// First violation, human-readable (empty when clean). Kept for
+  /// back-compat; `failures` carries the actionable per-run records.
   std::string firstViolation;
 
   bool clean() const { return collisionFree && secBounded; }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 
+#include "config/configuration.h"
 #include "obs/stats.h"
 
 namespace apf::sim {
@@ -42,15 +43,61 @@ struct Metrics {
   /// Wall nanoseconds of algorithm Compute calls per phase tag (timed
   /// runs only).
   std::map<int, std::uint64_t> phaseNanos;
+
+  // --- fault-injection extensions --------------------------------------
+  /// Sensor/compute faults injected (equals the run's FaultInjected event
+  /// count; crashes are counted separately in `crashed`).
+  std::uint64_t faultsInjected = 0;
+  /// Robots permanently halted by crash-stop faults.
+  std::uint64_t crashed = 0;
 };
+
+/// How a run ended, beyond the boolean success/timeout pair: the outcome
+/// vocabulary of the degradation harness (bench_faults, apf_report).
+enum class Outcome {
+  /// Pattern formed — with f crashed robots, under n-f semantics: the
+  /// live robots form the pattern minus some f-point subset.
+  Success,
+  /// No crash, but the run either hit the event cap or went quiescent in
+  /// a non-pattern configuration.
+  Stalled,
+  /// >= 1 robot crashed and the survivors did not reach n-f success.
+  CrashedShort,
+  /// An unintended multiplicity point appeared among live robots while
+  /// fault injection was active (the engine only performs this check on
+  /// fault runs; clean runs rely on the fuzzer's external invariants).
+  SafetyViolation,
+};
+
+/// Stable wire name (the `result.outcome` manifest value).
+inline const char* outcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::Success:
+      return "success";
+    case Outcome::Stalled:
+      return "stalled";
+    case Outcome::CrashedShort:
+      return "crashed_short";
+    case Outcome::SafetyViolation:
+      return "safety_violation";
+  }
+  return "?";
+}
 
 /// Result of one simulation run.
 struct RunResult {
-  /// True when the run reached a terminal configuration (no robot moves,
-  /// none moving) before the step limit.
+  /// True when the run reached a terminal configuration (no live robot
+  /// moves, none moving) before the step limit.
   bool terminated = false;
-  /// True when the final configuration is similar to the target pattern.
+  /// True when the final configuration (crashed robots included) is
+  /// similar to the target pattern — the paper's original criterion.
   bool success = false;
+  /// Fault-aware classification; Success for clean successful runs, so
+  /// fault-free callers may keep reading `success` only.
+  Outcome outcome = Outcome::Stalled;
+  /// Global positions when the run ended (crashed robots where they
+  /// halted). Lets harnesses grade near-misses without re-running.
+  config::Configuration finalPositions;
   Metrics metrics;
 };
 

@@ -4,9 +4,12 @@
 ///  * success rates and run-cost statistics grouped by (algo, sched, n),
 ///  * random-bit accounting (the paper's one-bit-per-cycle claim),
 ///  * per-phase activation and wall-time breakdowns,
+///  * fault-injection accounting (run outcomes, injected faults by kind;
+///    docs/FAULTS.md),
 ///  * event-log statistics (event counts by kind, snapshot staleness),
 ///  * a cross-check that event-log per-phase totals match the manifests'
-///    `Metrics::phaseActivations` numbers.
+///    `Metrics::phaseActivations` numbers, and that fault/crash event
+///    counts match the manifests' `result.faults_injected`/`result.crashed`.
 ///
 /// Produce inputs with either
 ///   apf_sim --jsonl run.jsonl --manifest run.manifest.json ...
@@ -86,9 +89,17 @@ struct Report {
   std::map<int, std::uint64_t> phaseNanos;
   std::uint64_t totalBits = 0;
   std::uint64_t totalCycles = 0;
+  // Fault accounting from manifests (docs/FAULTS.md).
+  int faultRuns = 0;  // manifests with fault.active=true
+  std::map<std::string, int> outcomes;  // result.outcome tallies
+  std::uint64_t manifestFaultsInjected = 0;  // sum of result.faults_injected
+  std::uint64_t manifestCrashed = 0;         // sum of result.crashed
   // Event-log aggregation.
   std::map<std::string, std::uint64_t> eventsByKind;
   std::map<int, std::uint64_t> computeByPhase;  // from compute events
+  std::map<std::string, std::uint64_t> faultsByKind;  // fault_injected "fault"
+  std::uint64_t eventLogFaults = 0;   // fault_injected event count
+  std::uint64_t eventLogCrashes = 0;  // robot_crashed event count
   std::uint64_t eventLogBits = 0;
   std::uint64_t eventLogElections = 0;
   std::vector<double> staleness;
@@ -119,6 +130,12 @@ void ingestManifest(const fs::path& path, Report& rep) {
       static_cast<std::uint64_t>(num(m, "result.election_rounds"));
   rep.totalBits += static_cast<std::uint64_t>(bits);
   rep.totalCycles += static_cast<std::uint64_t>(cycles);
+
+  rep.outcomes[str(m, "result.outcome", "?")] += 1;
+  if (boolean(m, "fault.active")) rep.faultRuns += 1;
+  rep.manifestFaultsInjected +=
+      static_cast<std::uint64_t>(num(m, "result.faults_injected"));
+  rep.manifestCrashed += static_cast<std::uint64_t>(num(m, "result.crashed"));
 
   for (const auto& [k, v] : m) {
     // result.phase.<tag>.activations / result.phase.<tag>.ns
@@ -161,6 +178,11 @@ void ingestJsonl(const fs::path& path, Report& rep) {
       rep.staleness.push_back(num(*obj, "stale"));
     } else if (kind == "election_round") {
       rep.eventLogElections += 1;
+    } else if (kind == "fault_injected") {
+      rep.eventLogFaults += 1;
+      rep.faultsByKind[str(*obj, "fault", "?")] += 1;
+    } else if (kind == "robot_crashed") {
+      rep.eventLogCrashes += 1;
     }
   }
 }
@@ -229,6 +251,29 @@ void printPhases(const Report& rep) {
   }
 }
 
+void printFaults(const Report& rep) {
+  if (rep.faultRuns == 0 && rep.eventLogFaults == 0 &&
+      rep.eventLogCrashes == 0) {
+    return;  // fault-free telemetry: keep the report unchanged
+  }
+  std::printf("\n== fault injection (docs/FAULTS.md) ==\n");
+  std::printf("fault-active runs: %d\n", rep.faultRuns);
+  std::printf("run outcomes:");
+  for (const auto& [name, n] : rep.outcomes) {
+    std::printf("  %s=%d", name.c_str(), n);
+  }
+  std::printf("\ninjected faults: %llu; crashed robots: %llu (manifests)\n",
+              static_cast<unsigned long long>(rep.manifestFaultsInjected),
+              static_cast<unsigned long long>(rep.manifestCrashed));
+  if (!rep.faultsByKind.empty()) {
+    std::printf("injected by kind (event logs):\n");
+    for (const auto& [kind, n] : rep.faultsByKind) {
+      std::printf("  %-18s %12llu\n", kind.c_str(),
+                  static_cast<unsigned long long>(n));
+    }
+  }
+}
+
 void printEventLogs(const Report& rep) {
   if (rep.jsonlFiles == 0) return;
   std::printf("\n== event logs (%llu files) ==\n",
@@ -271,6 +316,21 @@ bool crossCheck(const Report& rep) {
                 static_cast<unsigned long long>(n),
                 static_cast<unsigned long long>(fromEvents),
                 ok ? "OK" : "MISMATCH");
+  }
+  // Fault accounting must agree too: every injected fault and every crash
+  // appears exactly once in the event stream (obs/event.h contract).
+  if (rep.faultRuns > 0 || rep.eventLogFaults > 0 || rep.eventLogCrashes > 0) {
+    const bool faultsOk = rep.eventLogFaults == rep.manifestFaultsInjected;
+    const bool crashesOk = rep.eventLogCrashes == rep.manifestCrashed;
+    allOk = allOk && faultsOk && crashesOk;
+    std::printf("%-18s manifests=%llu events=%llu %s\n", "faults_injected",
+                static_cast<unsigned long long>(rep.manifestFaultsInjected),
+                static_cast<unsigned long long>(rep.eventLogFaults),
+                faultsOk ? "OK" : "MISMATCH");
+    std::printf("%-18s manifests=%llu events=%llu %s\n", "robots_crashed",
+                static_cast<unsigned long long>(rep.manifestCrashed),
+                static_cast<unsigned long long>(rep.eventLogCrashes),
+                crashesOk ? "OK" : "MISMATCH");
   }
   return allOk;
 }
@@ -326,6 +386,7 @@ int main(int argc, char** argv) {
   printGroups(rep);
   printBits(rep);
   printPhases(rep);
+  printFaults(rep);
   printEventLogs(rep);
   const bool consistent = crossCheck(rep);
   return consistent ? 0 : 1;

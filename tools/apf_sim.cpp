@@ -25,6 +25,7 @@
 #include "core/phases.h"
 #include "core/rsb.h"
 #include "core/scattering.h"
+#include "fault/fault.h"
 #include "io/patterns.h"
 #include "io/serialize.h"
 #include "io/svg.h"
@@ -56,6 +57,18 @@ struct Options {
   bool quiet = false;
   /// Analyze the start configuration (Definitions 1-3) instead of running.
   bool analyze = false;
+  // Fault injection (docs/FAULTS.md). Crash victims/timings are drawn from
+  // --fault-seed once n is known; the sensor/compute knobs go straight into
+  // the FaultPlan.
+  int crashF = 0;
+  std::uint64_t crashHorizon = 2000;
+  double noiseSigma = 0.0;
+  double omitProb = 0.0;
+  double multFlipProb = 0.0;
+  double dropProb = 0.0;
+  double truncProb = 0.0;
+  std::uint64_t faultSeed = 0;
+  bool faultSeedSet = false;
 };
 
 void usage() {
@@ -81,9 +94,67 @@ void usage() {
       "  --jsonl FILE       write structured event log (JSONL; see\n"
       "                     docs/OBSERVABILITY.md and apf_report)\n"
       "  --manifest FILE    write run manifest (reproducibility record)\n"
+      "fault injection (docs/FAULTS.md):\n"
+      "  --crash F          crash-stop F random robots (victims/timings\n"
+      "                     drawn from --fault-seed)\n"
+      "  --crash-horizon N  scheduler-event window for crashes (default\n"
+      "                     2000)\n"
+      "  --noise S          Gaussian snapshot noise, std dev S (global\n"
+      "                     units)\n"
+      "  --omit P           omit each observed robot with probability P\n"
+      "  --mult-flip P      flip perceived multiplicity with probability P\n"
+      "  --drop P           drop a computed path with probability P\n"
+      "  --trunc P          truncate a computed path with probability P\n"
+      "  --fault-seed S     fault RNG stream seed (default: --seed)\n"
       "  --json             print run manifest + result as one JSON line\n"
       "  --analyze          classify the start configuration and exit\n"
       "  --quiet            summary line only\n");
+}
+
+// Numeric argument parsing with validation: every flag rejects garbage,
+// trailing junk, and out-of-domain values with a clear message and exit
+// code 2 (usage error), instead of surfacing a bare std::stod exception.
+[[noreturn]] void badValue(const char* flag, const char* got,
+                           const char* want) {
+  std::fprintf(stderr, "apf_sim: %s expects %s, got '%s'\n", flag, want, got);
+  std::exit(2);
+}
+
+double parseDouble(const char* flag, const char* s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != std::strlen(s)) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    badValue(flag, s, "a number");
+  }
+}
+
+double parseNonNegative(const char* flag, const char* s) {
+  const double v = parseDouble(flag, s);
+  if (v < 0.0 || !(v == v)) badValue(flag, s, "a non-negative number");
+  return v;
+}
+
+double parseProb(const char* flag, const char* s) {
+  const double v = parseDouble(flag, s);
+  if (v < 0.0 || v > 1.0 || !(v == v)) {
+    badValue(flag, s, "a probability in [0, 1]");
+  }
+  return v;
+}
+
+std::uint64_t parseU64(const char* flag, const char* s) {
+  if (s[0] == '-') badValue(flag, s, "a non-negative integer");
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != std::strlen(s)) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    badValue(flag, s, "a non-negative integer");
+  }
 }
 
 bool parse(int argc, char** argv, Options& o) {
@@ -97,7 +168,8 @@ bool parse(int argc, char** argv, Options& o) {
       return argv[++i];
     };
     if (a == "--n") {
-      o.n = std::stoul(next("--n"));
+      o.n = static_cast<std::size_t>(parseU64("--n", next("--n")));
+      if (o.n == 0) badValue("--n", "0", "at least one robot");
     } else if (a == "--pattern") {
       o.pattern = next("--pattern");
     } else if (a == "--pattern-file") {
@@ -111,11 +183,31 @@ bool parse(int argc, char** argv, Options& o) {
     } else if (a == "--algo") {
       o.algo = next("--algo");
     } else if (a == "--seed") {
-      o.seed = std::stoull(next("--seed"));
+      o.seed = parseU64("--seed", next("--seed"));
     } else if (a == "--delta") {
-      o.delta = std::stod(next("--delta"));
+      o.delta = parseNonNegative("--delta", next("--delta"));
     } else if (a == "--max-events") {
-      o.maxEvents = std::stoull(next("--max-events"));
+      o.maxEvents = parseU64("--max-events", next("--max-events"));
+    } else if (a == "--crash") {
+      o.crashF = static_cast<int>(parseU64("--crash", next("--crash")));
+    } else if (a == "--crash-horizon") {
+      o.crashHorizon = parseU64("--crash-horizon", next("--crash-horizon"));
+      if (o.crashHorizon == 0) {
+        badValue("--crash-horizon", "0", "a positive event count");
+      }
+    } else if (a == "--noise") {
+      o.noiseSigma = parseNonNegative("--noise", next("--noise"));
+    } else if (a == "--omit") {
+      o.omitProb = parseProb("--omit", next("--omit"));
+    } else if (a == "--mult-flip") {
+      o.multFlipProb = parseProb("--mult-flip", next("--mult-flip"));
+    } else if (a == "--drop") {
+      o.dropProb = parseProb("--drop", next("--drop"));
+    } else if (a == "--trunc") {
+      o.truncProb = parseProb("--trunc", next("--trunc"));
+    } else if (a == "--fault-seed") {
+      o.faultSeed = parseU64("--fault-seed", next("--fault-seed"));
+      o.faultSeedSet = true;
     } else if (a == "--multiplicity") {
       o.multiplicity = true;
     } else if (a == "--chirality") {
@@ -225,6 +317,28 @@ int main(int argc, char** argv) try {
   }
   opts.sched.kind = *kind;
 
+  // Fault plan (empty by default — the engine is then bit-identical to a
+  // fault-free build). Crash victims/timings are drawn here so the summary
+  // and manifest record the concrete plan, not just "F crashes".
+  const std::uint64_t faultSeed = o.faultSeedSet ? o.faultSeed : o.seed;
+  if (o.crashF > 0) {
+    if (static_cast<std::size_t>(o.crashF) >= start.size()) {
+      std::fprintf(stderr,
+                   "apf_sim: --crash %d must leave at least one live robot "
+                   "(n = %zu)\n",
+                   o.crashF, start.size());
+      return 2;
+    }
+    opts.fault = fault::planWithRandomCrashes(start.size(), o.crashF,
+                                              faultSeed, o.crashHorizon);
+  }
+  opts.fault.noiseSigma = o.noiseSigma;
+  opts.fault.omitProb = o.omitProb;
+  opts.fault.multFlipProb = o.multFlipProb;
+  opts.fault.dropProb = o.dropProb;
+  opts.fault.truncProb = o.truncProb;
+  opts.fault.seed = faultSeed;
+
   std::unique_ptr<obs::JsonlRecorder> sink;
   if (!o.jsonlPath.empty()) {
     sink = std::make_unique<obs::JsonlRecorder>(o.jsonlPath);
@@ -250,14 +364,20 @@ int main(int argc, char** argv) try {
     std::printf("%s\n", manifest.toJson().c_str());
   } else {
     std::printf(
-        "algo=%s n=%zu sched=%s seed=%llu  terminated=%s success=%s  "
-        "cycles=%llu bits=%llu distance=%.2f\n",
+        "algo=%s n=%zu sched=%s seed=%llu  terminated=%s success=%s "
+        "outcome=%s  cycles=%llu bits=%llu distance=%.2f\n",
         algo->name().c_str(), start.size(), o.sched.c_str(),
         static_cast<unsigned long long>(o.seed),
         res.terminated ? "yes" : "no", res.success ? "yes" : "no",
+        sim::outcomeName(res.outcome),
         static_cast<unsigned long long>(res.metrics.cycles),
         static_cast<unsigned long long>(res.metrics.randomBits),
         res.metrics.distance);
+    if (opts.fault.active()) {
+      std::printf("  faults: crashed=%llu injected=%llu\n",
+                  static_cast<unsigned long long>(res.metrics.crashed),
+                  static_cast<unsigned long long>(res.metrics.faultsInjected));
+    }
     if (!o.quiet) {
       for (const auto& [tag, cnt] : res.metrics.phaseActivations) {
         std::printf("  %-16s %llu\n", core::phaseName(tag),
