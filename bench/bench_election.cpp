@@ -30,17 +30,27 @@ int main() {
   std::vector<std::vector<double>> cdfData;  // ASYNC cycles per n for F2
   std::vector<std::size_t> cdfNs;
 
+  // Per-cell seeds fan out across the campaign pool (sim/campaign.h);
+  // in-order merge keeps every CSV row identical for any APF_JOBS.
+  std::vector<int> seeds(kSeeds);
+  for (int s = 0; s < kSeeds; ++s) seeds[s] = s;
+  long obsBase = 0;
+
   for (std::size_t n : {8, 12, 16, 24, 32}) {
     for (const auto& [schedName, kind] : scheds) {
-      int ok = 0;
-      std::vector<double> cycles, bits;
-      for (int s = 0; s < kSeeds; ++s) {
+      const auto results = sim::campaignMap(seeds, [&](int s, std::size_t) {
         const auto start = symmetricStart(n, 1000 + s);
         const auto pattern = io::starPattern(n);
         RunSpec spec;
         spec.sched = kind;
         spec.seed = 7 * s + 1;
-        const auto res = runOnce(start, pattern, rsb, spec);
+        spec.obsIndex = obsBase + s;
+        return runOnce(start, pattern, rsb, spec);
+      });
+      obsBase += kSeeds;
+      int ok = 0;
+      std::vector<double> cycles, bits;
+      for (const auto& res : results) {
         ok += res.terminated;
         if (res.terminated) {
           cycles.push_back(static_cast<double>(res.metrics.cycles));

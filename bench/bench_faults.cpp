@@ -40,14 +40,22 @@ int main() {
   const double sigmas[] = {0.0, 0.02, 0.1};
   const double omits[] = {0.0, 0.1};
 
+  // Per-cell seeds fan out across the campaign pool (sim/campaign.h); each
+  // worker builds its own start/pattern/fault plan, and the in-order merge
+  // keeps every CSV row identical for any APF_JOBS.
+  std::vector<int> seeds(kSeeds);
+  for (int s = 0; s < kSeeds; ++s) seeds[s] = s;
+  long obsBase = 0;
+
   for (const int f : crashCounts) {
     for (const double sigma : sigmas) {
       for (const double omit : omits) {
         const bool faulty = f > 0 || sigma > 0.0 || omit > 0.0;
-        int byOutcome[4] = {0, 0, 0, 0};
-        int approx = 0;
-        std::vector<double> events;
-        for (int s = 0; s < kSeeds; ++s) {
+        struct CellRun {
+          sim::RunResult res;
+          bool approx = false;
+        };
+        const auto results = sim::campaignMap(seeds, [&](int s, std::size_t) {
           // Reference configurations: identical to bench_scheduler's
           // ASYNC earlyStop=0.5 row so the clean cell cross-checks it.
           config::Rng rng(810 + s);
@@ -73,13 +81,21 @@ int main() {
                 fault::planWithRandomCrashes(kN, f, spec.seed, 800).crashes;
           }
           spec.label = "faults";
-          const auto res = runOnce(start, pattern, algo, spec);
-          byOutcome[static_cast<int>(res.outcome)] += 1;
-          if (config::similar(res.finalPositions, pattern,
-                              geom::Tol{2e-2, 2e-2})) {
-            ++approx;
-          }
-          events.push_back(static_cast<double>(res.metrics.events));
+          spec.obsIndex = obsBase + s;
+          CellRun out;
+          out.res = runOnce(start, pattern, algo, spec);
+          out.approx = config::similar(out.res.finalPositions, pattern,
+                                       geom::Tol{2e-2, 2e-2});
+          return out;
+        });
+        obsBase += kSeeds;
+        int byOutcome[4] = {0, 0, 0, 0};
+        int approx = 0;
+        std::vector<double> events;
+        for (const auto& run : results) {
+          byOutcome[static_cast<int>(run.res.outcome)] += 1;
+          approx += run.approx;
+          events.push_back(static_cast<double>(run.res.metrics.events));
         }
         auto frac = [&](sim::Outcome o) {
           return std::to_string(byOutcome[static_cast<int>(o)]) + "/" +

@@ -23,18 +23,28 @@ int main() {
               {"pattern", "n", "success", "cycles_mean", "cycles_p95",
                "bits_mean", "dist_mean"});
 
+  // Per-cell seeds fan out across the campaign pool (sim/campaign.h);
+  // in-order merge keeps every CSV row identical for any APF_JOBS.
+  std::vector<int> seeds(kSeeds);
+  for (int s = 0; s < kSeeds; ++s) seeds[s] = s;
+  long obsBase = 0;
+
   for (const std::string pat : {"polygon", "star", "grid", "spiral",
                                 "random"}) {
     for (std::size_t n : {8, 12, 16}) {
-      int ok = 0;
-      std::vector<double> cycles, bits, dist;
-      for (int s = 0; s < kSeeds; ++s) {
+      const auto results = sim::campaignMap(seeds, [&](int s, std::size_t) {
         config::Rng rng(500 + s);
         const auto start = config::randomConfiguration(n, rng, 5.0, 0.1);
         const auto pattern = io::patternByName(pat, n, 40 + s);
         RunSpec spec;
         spec.seed = 13 * s + 2;
-        const auto res = runOnce(start, pattern, algo, spec);
+        spec.obsIndex = obsBase + s;
+        return runOnce(start, pattern, algo, spec);
+      });
+      obsBase += kSeeds;
+      int ok = 0;
+      std::vector<double> cycles, bits, dist;
+      for (const auto& res : results) {
         ok += res.success;
         if (res.success) {
           cycles.push_back(static_cast<double>(res.metrics.cycles));
@@ -57,14 +67,18 @@ int main() {
             "bench_formation_symmetric.csv",
             {"n", "success", "cycles_mean", "bits_mean"});
   for (std::size_t n : {8, 12, 16}) {
-    int ok = 0;
-    std::vector<double> cycles, bits;
-    for (int s = 0; s < kSeeds; ++s) {
+    const auto results = sim::campaignMap(seeds, [&](int s, std::size_t) {
       const auto start = symmetricStart(n, 900 + s);
       const auto pattern = io::randomPatternByName(n, 60 + s);
       RunSpec spec;
       spec.seed = 17 * s + 3;
-      const auto res = runOnce(start, pattern, algo, spec);
+      spec.obsIndex = obsBase + s;
+      return runOnce(start, pattern, algo, spec);
+    });
+    obsBase += kSeeds;
+    int ok = 0;
+    std::vector<double> cycles, bits;
+    for (const auto& res : results) {
       ok += res.success;
       if (res.success) {
         cycles.push_back(static_cast<double>(res.metrics.cycles));

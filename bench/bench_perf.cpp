@@ -1,0 +1,236 @@
+/// \file bench_perf.cpp
+/// TP — perf-baseline harness. Times representative workloads and emits a
+/// machine-readable `BENCH_perf.json` next to the CSVs (results/ or
+/// APF_RESULTS_DIR), so every future PR can regress against this one:
+///
+///  * campaign throughput: election (psi_RSB from symmetric starts) and
+///    formation (full algorithm from random starts) campaigns at
+///    n in {16, 64, 256}, each measured serially (jobs = 1) and on the
+///    campaign thread pool (jobs = APF_JOBS / hardware concurrency), with
+///    an in-process determinism cross-check that both produce identical
+///    aggregates;
+///  * geometry microbenches: fresh Welzl SEC vs the memoized
+///    Configuration::sec() cache, and the Weiszfeld Weber point.
+///
+/// Runs are capped by a fixed event budget so a workload is a bounded,
+/// deterministic amount of work whether or not individual runs converge.
+/// `--quick` shrinks every workload for the CI perf smoke job.
+
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <thread>
+
+#include "bench/common.h"
+#include "core/form_pattern.h"
+#include "core/rsb.h"
+#include "geom/sec.h"
+#include "geom/weber.h"
+#include "obs/json.h"
+#include "obs/stats.h"
+#include "sim/campaign.h"
+
+using namespace apf;
+using namespace apf::bench;
+
+namespace {
+
+struct WorkloadResult {
+  std::string workload;
+  std::size_t n = 0;
+  int jobs = 1;
+  int runs = 0;  ///< campaign runs, or micro-bench iterations
+  double wallMs = 0.0;
+  double perSec = 0.0;   ///< runs (or ops) per second
+  double speedup = 1.0;  ///< vs. the serial / un-memoized baseline
+};
+
+/// Order-independent campaign fingerprint for the determinism cross-check.
+struct Aggregate {
+  std::uint64_t events = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t randomBits = 0;
+  int successes = 0;
+  bool operator==(const Aggregate&) const = default;
+};
+
+template <typename F>
+double timeMs(F&& f) {
+  const std::uint64_t t0 = obs::nowNanos();
+  f();
+  return static_cast<double>(obs::nowNanos() - t0) / 1e6;
+}
+
+Aggregate runWorkload(bool formation, std::size_t n, int runs,
+                      std::uint64_t maxEvents, int jobs) {
+  core::FormPatternAlgorithm form;
+  core::RsbOnlyAlgorithm rsb;
+  const sim::Algorithm& algo =
+      formation ? static_cast<const sim::Algorithm&>(form)
+                : static_cast<const sim::Algorithm&>(rsb);
+  std::vector<int> seeds(static_cast<std::size_t>(runs));
+  std::iota(seeds.begin(), seeds.end(), 0);
+  Aggregate agg;
+  sim::runCampaign(
+      seeds,
+      [&](int s, std::size_t) {
+        config::Configuration start, pattern;
+        sim::EngineOptions opts;
+        if (formation) {
+          config::Rng rng(500 + s);
+          start = config::randomConfiguration(n, rng, 5.0, 0.1);
+          pattern = io::randomPatternByName(n, 40 + s);
+          opts.seed = 13 * static_cast<std::uint64_t>(s) + 2;
+        } else {
+          start = symmetricStart(n, 1000 + static_cast<std::uint64_t>(s));
+          pattern = io::starPattern(n);
+          opts.seed = 7 * static_cast<std::uint64_t>(s) + 1;
+        }
+        opts.maxEvents = maxEvents;
+        opts.sched.kind = sched::SchedulerKind::Async;
+        sim::Engine eng(start, pattern, algo, opts);
+        return eng.run();
+      },
+      [&](std::size_t, sim::RunResult&& res) {
+        agg.events += res.metrics.events;
+        agg.cycles += res.metrics.cycles;
+        agg.randomBits += res.metrics.randomBits;
+        agg.successes += res.success;
+      },
+      jobs);
+  return agg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int parJobs = sim::campaignJobs();
+
+  Table table("TP: perf baseline (campaign throughput + geometry micro)",
+              "bench_perf.csv",
+              {"workload", "n", "jobs", "runs", "wall_ms", "per_sec",
+               "speedup"});
+  std::vector<WorkloadResult> out;
+  auto record = [&](WorkloadResult w) {
+    table.row({w.workload, std::to_string(w.n), std::to_string(w.jobs),
+               std::to_string(w.runs), io::fmt(w.wallMs, 1),
+               io::fmt(w.perSec, 2), io::fmt(w.speedup, 2)});
+    out.push_back(std::move(w));
+  };
+
+  // --- campaign throughput -----------------------------------------------
+  // Event caps and run counts are sized per cell so each measurement is a
+  // few tens of seconds of work on one core — per-event cost spans three
+  // orders of magnitude between n=16 and n=256 (the n=256 formation
+  // compute runs the Weber point and shifted-regular detection each event).
+  struct Cell {
+    const char* name;
+    bool formation;
+    std::size_t n;
+    std::uint64_t maxEvents;
+    int runs;
+  };
+  const Cell cells[] = {
+      {"election_campaign", false, 16, 8000, 8},
+      {"election_campaign", false, 64, 1200, 8},
+      {"election_campaign", false, 256, 300, 8},
+      {"formation_campaign", true, 16, 8000, 8},
+      {"formation_campaign", true, 64, 2400, 8},
+      {"formation_campaign", true, 256, 150, 4},
+  };
+  for (const Cell& cell : cells) {
+    const std::uint64_t cap =
+        quick ? std::max<std::uint64_t>(50, cell.maxEvents / 4)
+              : cell.maxEvents;
+    const int runs = quick ? std::max(2, cell.runs / 2) : cell.runs;
+    Aggregate serialAgg, parAgg;
+    const double serialMs = timeMs([&] {
+      serialAgg = runWorkload(cell.formation, cell.n, runs, cap, 1);
+    });
+    const double parMs = timeMs([&] {
+      parAgg = runWorkload(cell.formation, cell.n, runs, cap, parJobs);
+    });
+    if (!(serialAgg == parAgg)) {
+      std::fprintf(stderr,
+                   "FATAL: %s n=%zu: parallel aggregate differs from serial "
+                   "(determinism violation)\n",
+                   cell.name, cell.n);
+      return 1;
+    }
+    record({cell.name, cell.n, 1, runs, serialMs,
+            1000.0 * runs / serialMs, 1.0});
+    record({cell.name, cell.n, parJobs, runs, parMs, 1000.0 * runs / parMs,
+            serialMs / parMs});
+  }
+
+  // --- geometry microbenches ---------------------------------------------
+  double checksum = 0.0;  // defeat dead-code elimination
+  for (std::size_t n : {16, 64, 256}) {
+    config::Rng rng(42 + n);
+    const auto cfg = config::randomConfiguration(n, rng, 5.0, 0.1);
+    const int secIters = (quick ? 200 : 2000) * 64 / static_cast<int>(n);
+    const double freshMs = timeMs([&] {
+      for (int i = 0; i < secIters; ++i) {
+        checksum += geom::smallestEnclosingCircle(cfg.span()).radius;
+      }
+    });
+    record({"sec_fresh", n, 1, secIters, freshMs, 1000.0 * secIters / freshMs,
+            1.0});
+    const double cachedMs = timeMs([&] {
+      for (int i = 0; i < secIters; ++i) checksum += cfg.sec().radius;
+    });
+    // For sec_cached, "speedup" is the memoization win over sec_fresh.
+    record({"sec_cached", n, 1, secIters, cachedMs,
+            1000.0 * secIters / cachedMs,
+            cachedMs > 0.0 ? freshMs / cachedMs : 0.0});
+    const int weberIters = std::max(5, (quick ? 20 : 200) * 64 /
+                                           static_cast<int>(n));
+    const double weberMs = timeMs([&] {
+      for (int i = 0; i < weberIters; ++i) {
+        checksum += geom::weberPoint(cfg.span()).x;
+      }
+    });
+    record({"weber", n, 1, weberIters, weberMs,
+            1000.0 * weberIters / weberMs, 1.0});
+  }
+
+  table.print();
+  std::printf("(checksum %.3f, hardware_concurrency %u)\n", checksum,
+              std::thread::hardware_concurrency());
+
+  // --- BENCH_perf.json ----------------------------------------------------
+  std::string entries;
+  for (const WorkloadResult& w : out) {
+    obs::JsonObjectWriter jw;
+    jw.field("workload", w.workload);
+    jw.field("n", static_cast<std::uint64_t>(w.n));
+    jw.field("jobs", w.jobs);
+    jw.field("runs", w.runs);
+    jw.field("wall_ms", w.wallMs);
+    jw.field("runs_per_sec", w.perSec);
+    jw.field("speedup_vs_serial", w.speedup);
+    if (!entries.empty()) entries += ",";
+    entries += jw.str();
+  }
+  obs::JsonObjectWriter top;
+  top.field("schema", "apf.bench_perf.v1");
+  top.field("quick", quick);
+  top.field("hardware_concurrency",
+            static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  top.field("serial_jobs", 1);
+  top.field("parallel_jobs", parJobs);
+  top.rawField("workloads", "[" + entries + "]");
+  const std::string jsonPath = resultsPath("BENCH_perf.json");
+  std::ofstream js(jsonPath);
+  js << top.str() << "\n";
+  if (!js) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", jsonPath.c_str());
+  return 0;
+}

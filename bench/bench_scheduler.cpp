@@ -36,10 +36,14 @@ int main() {
       {"ASYNC", sched::SchedulerKind::Async, 0.9},
   };
 
+  // Seeds of one cell fan out across the campaign pool; rows aggregate the
+  // merged in-order results, so the CSV is identical for any APF_JOBS.
+  std::vector<int> seeds(kSeeds);
+  for (int s = 0; s < kSeeds; ++s) seeds[s] = s;
+  long obsBase = 0;
+
   for (const Cell& cell : cells) {
-    int ok = 0;
-    std::vector<double> cycles, events;
-    for (int s = 0; s < kSeeds; ++s) {
+    const auto results = sim::campaignMap(seeds, [&](int s, std::size_t) {
       config::Rng rng(810 + s);
       const std::size_t n = 10;
       const auto start = config::randomConfiguration(n, rng, 5.0, 0.1);
@@ -49,7 +53,13 @@ int main() {
       spec.seed = 23 * s + 9;
       spec.earlyStopProb = cell.earlyStop;
       spec.maxEvents = 2000000;
-      const auto res = runOnce(start, pattern, algo, spec);
+      spec.obsIndex = obsBase + s;
+      return runOnce(start, pattern, algo, spec);
+    });
+    obsBase += kSeeds;
+    int ok = 0;
+    std::vector<double> cycles, events;
+    for (const auto& res : results) {
       ok += res.success;
       if (res.success) {
         cycles.push_back(static_cast<double>(res.metrics.cycles));

@@ -14,6 +14,7 @@
 /// table also gets a `<csv>.manifest.json` describing the producing build.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -29,6 +30,7 @@
 #include "io/patterns.h"
 #include "obs/manifest.h"
 #include "obs/recorder.h"
+#include "sim/campaign.h"
 #include "sim/engine.h"
 
 namespace apf::bench {
@@ -47,7 +49,35 @@ struct RunSpec {
   fault::FaultPlan fault;
   /// Free-form label recorded in the run manifest (e.g. pattern name).
   std::string label;
+  /// Telemetry file index: when >= 0, APF_OBS_DIR artifacts for this run
+  /// are numbered with it instead of the process-wide counter, so names
+  /// stay deterministic when runs execute on a campaign thread pool.
+  long obsIndex = -1;
 };
+
+/// Directory every bench CSV (and its manifest) is written under:
+/// APF_RESULTS_DIR when set, else "results" relative to the working
+/// directory (the repo checkout keeps the canonical copies there). Created
+/// on first use. Benches must never write to the repo root — stale
+/// root-level copies of results/*.csv kept forking the two locations.
+inline const std::string& resultsDir() {
+  static const std::string dir = [] {
+    const char* v = std::getenv("APF_RESULTS_DIR");
+    std::string d = (v != nullptr && *v != '\0') ? v : "results";
+    std::filesystem::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+/// Joins a bare CSV filename onto resultsDir(); absolute paths and paths
+/// that already name a directory are passed through.
+inline std::string resultsPath(const std::string& file) {
+  if (file.empty()) return file;
+  const std::filesystem::path p(file);
+  if (p.is_absolute() || p.has_parent_path()) return file;
+  return (std::filesystem::path(resultsDir()) / p).string();
+}
 
 /// Telemetry directory from APF_OBS_DIR (nullptr = telemetry off).
 inline const char* obsDir() {
@@ -83,11 +113,17 @@ inline sim::RunResult runOnce(const config::Configuration& start,
   std::unique_ptr<obs::JsonlRecorder> sink;
   std::string base;
   if (dir != nullptr) {
-    static int runCounter = 0;
+    // Fallback numbering for callers that don't pass RunSpec::obsIndex;
+    // atomic because runOnce may execute on campaign worker threads (the
+    // numbers are then allocation-ordered, not run-ordered).
+    static std::atomic<long> runCounter{0};
+    const long idx = spec.obsIndex >= 0
+                         ? spec.obsIndex
+                         : runCounter.fetch_add(1, std::memory_order_relaxed);
     std::filesystem::create_directories(dir);
     base = std::string(dir) + "/" + algo.name() + "_" +
            sched::schedulerName(spec.sched) + "_n" +
-           std::to_string(start.size()) + "_" + std::to_string(runCounter++);
+           std::to_string(start.size()) + "_" + std::to_string(idx);
     opts.collectTimings = true;
     if (obsEvents()) {
       sink = std::make_unique<obs::JsonlRecorder>(base + ".jsonl");
@@ -128,13 +164,14 @@ inline Stats statsOf(std::vector<double> xs) {
   return s;
 }
 
-/// Aligned stdout table + CSV file.
+/// Aligned stdout table + CSV file. Bare CSV filenames land under
+/// resultsDir(), never the working directory's root.
 class Table {
  public:
   Table(std::string title, std::string csvPath,
         std::vector<std::string> header)
       : title_(std::move(title)),
-        csvPath_(std::move(csvPath)),
+        csvPath_(resultsPath(std::move(csvPath))),
         header_(std::move(header)),
         csv_(csvPath_, header_) {}
 

@@ -29,21 +29,61 @@ struct MultiPoint {
 /// order (index = robot identity inside the simulator; algorithms must not
 /// rely on indices, they are anonymous from the algorithm's viewpoint).
 /// Multiplicity points are represented by repeated positions.
+///
+/// The smallest enclosing circle is memoized: `sec()` computes Welzl once
+/// and every mutation (non-const operator[], push_back) invalidates the
+/// cache. Because the cache is filled lazily from a const method, a
+/// Configuration instance is NOT safe to share across threads unless the
+/// cache is warmed (call `sec()` once) before the instance becomes shared —
+/// after warming, concurrent const access is read-only. Campaign workers
+/// (sim/campaign.h) therefore operate on their own copies; copies carry the
+/// warmed cache with them. See docs/PERFORMANCE.md.
 class Configuration {
  public:
   Configuration() = default;
   explicit Configuration(std::vector<Vec2> pts) : pts_(std::move(pts)) {}
+
+  Configuration(const Configuration&) = default;
+  Configuration& operator=(const Configuration&) = default;
+  // Moves transfer the cache and reset the source's: the moved-from object
+  // has an empty point set, which a stale cached circle would misdescribe.
+  Configuration(Configuration&& o) noexcept
+      : pts_(std::move(o.pts_)), secCache_(o.secCache_), secValid_(o.secValid_) {
+    o.secValid_ = false;
+  }
+  Configuration& operator=(Configuration&& o) noexcept {
+    pts_ = std::move(o.pts_);
+    secCache_ = o.secCache_;
+    secValid_ = o.secValid_;
+    o.secValid_ = false;
+    return *this;
+  }
 
   std::size_t size() const { return pts_.size(); }
   bool empty() const { return pts_.empty(); }
   const std::vector<Vec2>& points() const { return pts_; }
   std::span<const Vec2> span() const { return pts_; }
   const Vec2& operator[](std::size_t i) const { return pts_[i]; }
-  Vec2& operator[](std::size_t i) { return pts_[i]; }
-  void push_back(Vec2 p) { pts_.push_back(p); }
+  /// Mutable access conservatively invalidates the SEC cache: the caller
+  /// may write through the reference.
+  Vec2& operator[](std::size_t i) {
+    secValid_ = false;
+    return pts_[i];
+  }
+  void push_back(Vec2 p) {
+    secValid_ = false;
+    pts_.push_back(p);
+  }
 
-  /// Smallest enclosing circle C(P).
-  Circle sec() const { return geom::smallestEnclosingCircle(pts_); }
+  /// Smallest enclosing circle C(P). Memoized; O(n) expected on the first
+  /// call after a mutation, O(1) afterwards.
+  Circle sec() const {
+    if (!secValid_) {
+      secCache_ = geom::smallestEnclosingCircle(pts_);
+      secValid_ = true;
+    }
+    return secCache_;
+  }
 
   /// Distinct positions with multiplicities (tolerant grouping). Order is
   /// first-occurrence order.
@@ -71,6 +111,8 @@ class Configuration {
 
  private:
   std::vector<Vec2> pts_;
+  mutable Circle secCache_;
+  mutable bool secValid_ = false;
 };
 
 /// lP: the distance to `center` of the second-closest distinct distance ring.

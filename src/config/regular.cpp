@@ -170,6 +170,9 @@ std::optional<RegularSetInfo> regularSetOf(const Configuration& p,
                                            const Tol& tol) {
   if (auto whole = checkRegularFreeCenter(p, tol)) return whole;
 
+  // Hoisted once per call; repeated sec() lookups below and in the callers
+  // that follow (centerOf, Definition-3 verification on the same P) hit the
+  // Configuration-level memo instead of re-running Welzl.
   const Circle sec = p.sec();
   const Vec2 c = sec.center;
   // Def. 2 requires c(P) not occupied.

@@ -169,8 +169,12 @@ std::vector<VacancyCandidate> proposeVacancies(const Configuration& p,
 /// Whole-configuration case: reg(P') = P'. Fit the n-1 static robots
 /// (everything except r) to an n-ray grid with the vacancy at ray 0, via
 /// Gauss-Newton with a free center. Returns candidate r' positions.
+/// `weberWhole` is the precomputed Weber point of all of P (hoisted by the
+/// caller — Weiszfeld iteration is far too dear to repeat per candidate
+/// robot).
 std::vector<Vec2> refineWholeGridCandidates(const Configuration& p,
-                                            std::size_t ir, const Tol& tol) {
+                                            std::size_t ir, Vec2 weberWhole,
+                                            const Tol& tol) {
   const int n = static_cast<int>(p.size());
   if (n < 5) return {};
   std::vector<Vec2> rest;
@@ -180,7 +184,7 @@ std::vector<Vec2> refineWholeGridCandidates(const Configuration& p,
   }
 
   std::vector<Vec2> candidates;
-  const Vec2 inits[2] = {geom::weberPoint(p.span()), geom::weberPoint(rest)};
+  const Vec2 inits[2] = {weberWhole, geom::weberPoint(rest)};
   for (const Vec2& c0 : inits) {
     // Sorted directions of the static robots around the init center.
     struct Dir {
@@ -290,7 +294,11 @@ std::optional<ShiftedSetInfo> shiftedRegularSetOf(const Configuration& p,
   if (n < 4) return std::nullopt;
 
   // Candidate shifted robots: innermost ring around either plausible center.
-  const Vec2 centers[2] = {p.sec().center, geom::weberPoint(p.span())};
+  // Both centers are hoisted out of the per-robot loops below: p.sec() is
+  // memoized by Configuration, and the Weber point (Weiszfeld iteration)
+  // used to be recomputed once per whole-grid candidate.
+  const Vec2 weberWhole = geom::weberPoint(p.span());
+  const Vec2 centers[2] = {p.sec().center, weberWhole};
   std::vector<bool> isCandidate(n, false);
   for (const Vec2& c : centers) {
     double dmin = std::numeric_limits<double>::infinity();
@@ -320,10 +328,10 @@ std::optional<ShiftedSetInfo> shiftedRegularSetOf(const Configuration& p,
       }
     }
     // Whole-configuration case: free-center grid fit on the static robots.
-    for (const Vec2& rPrime : refineWholeGridCandidates(p, ir, tol)) {
+    for (const Vec2& rPrime :
+         refineWholeGridCandidates(p, ir, weberWhole, tol)) {
       if (++attempts > kMaxAttempts) return std::nullopt;
-      if (auto info = verifyShift(p, ir, rPrime, geom::weberPoint(p.span()),
-                                  tol)) {
+      if (auto info = verifyShift(p, ir, rPrime, weberWhole, tol)) {
         return info;
       }
     }

@@ -1,0 +1,20 @@
+#include "sim/campaign.h"
+
+#include <cstdlib>
+
+namespace apf::sim {
+
+int campaignJobs(int requested) {
+  if (requested > 0) return requested > 512 ? 512 : requested;
+  if (const char* v = std::getenv("APF_JOBS"); v != nullptr && *v != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end != v && *end == '\0' && parsed >= 1) {
+      return parsed > 512 ? 512 : static_cast<int>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace apf::sim

@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file campaign.h
+/// Parallel campaign executor: fans independent seeded runs out across a
+/// fixed-size thread pool and merges their results IN RUN-INDEX ORDER, so
+/// every CSV row, FuzzResult, and aggregate statistic is bit-identical to
+/// the serial output regardless of thread count.
+///
+/// Determinism contract:
+///  * `worker(item, index)` must be a pure function of its arguments plus
+///    thread-confined state it creates itself (its own Engine, RNG streams,
+///    config::Rng, obs sink). It must not touch shared mutable state; in
+///    particular it must not call `sec()` on a Configuration instance shared
+///    with other threads unless the cache was warmed before the fan-out
+///    (see config/configuration.h and docs/PERFORMANCE.md).
+///  * `merge(index, result)` runs on the calling thread only, in strict
+///    index order 0, 1, 2, ... — never concurrently with itself.
+///  * With jobs == 1 no threads are spawned at all: the campaign is a plain
+///    serial loop, byte-identical to the historical single-threaded code.
+///
+/// Mechanics: workers claim run indices from an atomic counter, post
+/// finished results into a mutex-protected mailbox, and the caller drains
+/// the mailbox in batches, buffering out-of-order arrivals until the next
+/// index in sequence is available. A worker exception cancels the campaign
+/// (remaining items are abandoned) and is rethrown on the calling thread
+/// after all workers have drained.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace apf::sim {
+
+/// Resolves the worker-thread count for a campaign. `requested` > 0 wins;
+/// otherwise the APF_JOBS environment variable (clamped to [1, 512]);
+/// otherwise std::thread::hardware_concurrency() (at least 1). Not cached,
+/// so tests may vary APF_JOBS between calls.
+int campaignJobs(int requested = 0);
+
+template <typename Item, typename Worker, typename Merge>
+void runCampaign(const std::vector<Item>& items, Worker&& worker,
+                 Merge&& merge, int jobs = 0) {
+  using Result = std::invoke_result_t<Worker&, const Item&, std::size_t>;
+  const std::size_t n = items.size();
+  const int resolved = campaignJobs(jobs);
+  if (resolved <= 1 || n <= 1) {
+    // Serial path: exactly the historical loop, no threads, no mailbox.
+    for (std::size_t i = 0; i < n; ++i) {
+      merge(i, worker(items[i], i));
+    }
+    return;
+  }
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::pair<std::size_t, Result>> ready;
+    std::exception_ptr error;
+  } box;
+  std::atomic<std::size_t> next{0};
+
+  auto body = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        Result r = worker(items[i], i);
+        {
+          std::lock_guard<std::mutex> lock(box.mu);
+          box.ready.emplace_back(i, std::move(r));
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(box.mu);
+          if (!box.error) box.error = std::current_exception();
+        }
+        next.store(n, std::memory_order_relaxed);  // cancel remaining items
+      }
+      box.cv.notify_one();
+    }
+  };
+
+  const std::size_t threadCount =
+      std::min<std::size_t>(static_cast<std::size_t>(resolved), n);
+  std::vector<std::thread> pool;
+  pool.reserve(threadCount);
+  for (std::size_t t = 0; t < threadCount; ++t) pool.emplace_back(body);
+
+  // Drain the mailbox in batches; apply merge in strict index order.
+  std::map<std::size_t, Result> pending;
+  std::size_t merged = 0;
+  {
+    std::unique_lock<std::mutex> lock(box.mu);
+    while (merged < n) {
+      box.cv.wait(lock, [&] { return !box.ready.empty() || box.error; });
+      if (box.error) break;
+      std::vector<std::pair<std::size_t, Result>> batch;
+      batch.swap(box.ready);
+      lock.unlock();
+      for (auto& [i, r] : batch) pending.emplace(i, std::move(r));
+      for (auto it = pending.find(merged); it != pending.end();
+           it = pending.find(merged)) {
+        merge(merged, std::move(it->second));
+        pending.erase(it);
+        ++merged;
+      }
+      lock.lock();
+    }
+  }
+  for (std::thread& th : pool) th.join();
+  if (box.error) std::rethrow_exception(box.error);
+}
+
+/// Convenience wrapper: runs the campaign and returns the results as a
+/// vector in item order. Result must be default-constructible.
+template <typename Item, typename Worker>
+auto campaignMap(const std::vector<Item>& items, Worker&& worker,
+                 int jobs = 0) {
+  using Result = std::invoke_result_t<Worker&, const Item&, std::size_t>;
+  std::vector<Result> out(items.size());
+  runCampaign(
+      items, std::forward<Worker>(worker),
+      [&](std::size_t i, Result&& r) { out[i] = std::move(r); }, jobs);
+  return out;
+}
+
+}  // namespace apf::sim

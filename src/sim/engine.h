@@ -97,6 +97,11 @@ class Engine {
   const config::Configuration& pattern() const { return pattern_; }
   const Metrics& metrics() const { return metrics_; }
 
+  /// Monotone counter bumped on every actual position change. Observers can
+  /// compare it across invocations to skip recomputation when the
+  /// configuration is unchanged (see sim/fuzzer.cpp).
+  std::uint64_t configVersion() const { return configVersion_; }
+
   /// True when no robot is moving (or committed to move) and every robot's
   /// most recent completed Compute — on the current configuration — chose
   /// to stay without consuming randomness. Tracked organically: the engine

@@ -40,6 +40,10 @@ struct FuzzOptions {
   /// Expect every run to terminate successfully (pattern formed); when
   /// false only safety is checked.
   bool expectSuccess = true;
+  /// Worker threads for the campaign (see sim/campaign.h): 0 = resolve from
+  /// APF_JOBS / hardware concurrency, 1 = serial (no threads spawned). The
+  /// merged FuzzResult is bit-identical for every value.
+  int jobs = 0;
 
   // --- fault campaign knobs (all off by default) -----------------------
   /// Crash-stop faults per run; victims and crash events are re-drawn per

@@ -1,0 +1,220 @@
+/// Parallel-campaign determinism: the executor in sim/campaign.h must merge
+/// results in strict run-index order so that every aggregate is
+/// bit-identical to the serial loop for ANY thread count. These tests run
+/// the same campaigns at jobs = 1, 4, and hardware concurrency and compare
+/// every field — including full fuzz campaigns with a fault plan active.
+/// Labelled `perf` so the TSan CI lane can target them (`ctest -L perf`).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "config/generator.h"
+#include "core/form_pattern.h"
+#include "io/patterns.h"
+#include "sim/campaign.h"
+#include "sim/engine.h"
+#include "sim/fuzzer.h"
+
+namespace apf::sim {
+namespace {
+
+/// Scoped APF_JOBS override; restores the previous value on destruction.
+class ScopedJobsEnv {
+ public:
+  explicit ScopedJobsEnv(const char* value) {
+    const char* prev = std::getenv("APF_JOBS");
+    hadPrev_ = prev != nullptr;
+    if (hadPrev_) prev_ = prev;
+    if (value != nullptr) {
+      ::setenv("APF_JOBS", value, 1);
+    } else {
+      ::unsetenv("APF_JOBS");
+    }
+  }
+  ~ScopedJobsEnv() {
+    if (hadPrev_) {
+      ::setenv("APF_JOBS", prev_.c_str(), 1);
+    } else {
+      ::unsetenv("APF_JOBS");
+    }
+  }
+
+ private:
+  bool hadPrev_ = false;
+  std::string prev_;
+};
+
+TEST(CampaignTest, MergesInStrictIndexOrder) {
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[i] = i;
+  for (int jobs : {1, 4}) {
+    std::size_t expected = 0;
+    runCampaign(
+        items,
+        [](int item, std::size_t idx) {
+          EXPECT_EQ(static_cast<std::size_t>(item), idx);
+          // Scramble completion order so the mailbox actually has to buffer
+          // out-of-order arrivals before merging.
+          if (item % 3 == 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+          return item * item;
+        },
+        [&](std::size_t idx, int&& r) {
+          EXPECT_EQ(idx, expected) << "merge out of order at jobs=" << jobs;
+          EXPECT_EQ(r, items[idx] * items[idx]);
+          ++expected;
+        },
+        jobs);
+    EXPECT_EQ(expected, items.size());
+  }
+}
+
+TEST(CampaignTest, MapIdenticalAcrossJobCounts) {
+  std::vector<int> items(64);
+  for (int i = 0; i < 64; ++i) items[i] = 3 * i + 1;
+  auto worker = [](int item, std::size_t idx) {
+    return item * 1000 + static_cast<int>(idx);
+  };
+  const auto serial = campaignMap(items, worker, 1);
+  const auto four = campaignMap(items, worker, 4);
+  const auto hw = campaignMap(items, worker, campaignJobs());
+  EXPECT_EQ(serial, four);
+  EXPECT_EQ(serial, hw);
+}
+
+TEST(CampaignTest, WorkerExceptionPropagates) {
+  std::vector<int> items(50);
+  for (int i = 0; i < 50; ++i) items[i] = i;
+  for (int jobs : {1, 4}) {
+    auto run = [&] {
+      campaignMap(
+          items,
+          [](int item, std::size_t) {
+            if (item == 37) throw std::runtime_error("boom");
+            return item;
+          },
+          jobs);
+    };
+    EXPECT_THROW(run(), std::runtime_error) << "jobs=" << jobs;
+  }
+}
+
+TEST(CampaignTest, JobsResolution) {
+  {
+    ScopedJobsEnv env(nullptr);
+    EXPECT_EQ(campaignJobs(3), 3);  // explicit request wins
+    EXPECT_GE(campaignJobs(0), 1);  // hardware fallback is at least 1
+  }
+  {
+    ScopedJobsEnv env("5");
+    EXPECT_EQ(campaignJobs(0), 5);
+    EXPECT_EQ(campaignJobs(2), 2);  // explicit request still wins
+  }
+  {
+    ScopedJobsEnv env("100000");
+    EXPECT_EQ(campaignJobs(0), 512);  // clamped
+  }
+  {
+    ScopedJobsEnv env("nonsense");
+    EXPECT_GE(campaignJobs(0), 1);  // unparsable -> hardware fallback
+  }
+}
+
+/// Engine runs fanned out like the benches do: per-run aggregates must be
+/// identical for any job count.
+TEST(CampaignTest, EngineCampaignIdenticalAcrossJobCounts) {
+  core::FormPatternAlgorithm algo;
+  std::vector<int> seeds(8);
+  for (int s = 0; s < 8; ++s) seeds[s] = s;
+  auto worker = [&](int s, std::size_t) {
+    config::Rng rng(500 + s);
+    const auto start = config::randomConfiguration(8, rng, 5.0, 0.1);
+    const auto pattern = io::randomPatternByName(8, 40 + s);
+    EngineOptions opts;
+    opts.seed = 13 * static_cast<std::uint64_t>(s) + 2;
+    opts.sched.kind = sched::SchedulerKind::Async;
+    Engine eng(start, pattern, algo, opts);
+    const RunResult res = eng.run();
+    return std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, bool>(
+        res.metrics.events, res.metrics.cycles, res.metrics.randomBits,
+        res.success);
+  };
+  const auto serial = campaignMap(seeds, worker, 1);
+  const auto four = campaignMap(seeds, worker, 4);
+  const auto hw = campaignMap(seeds, worker, campaignJobs());
+  EXPECT_EQ(serial, four);
+  EXPECT_EQ(serial, hw);
+}
+
+void expectFuzzEqual(const FuzzResult& a, const FuzzResult& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.terminated, b.terminated);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.distinctConfigurations, b.distinctConfigurations);
+  EXPECT_EQ(a.collisionFree, b.collisionFree);
+  EXPECT_EQ(a.secBounded, b.secBounded);
+  EXPECT_EQ(a.maxSecGrowthFactor, b.maxSecGrowthFactor);  // bit-exact
+  EXPECT_EQ(a.firstViolation, b.firstViolation);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].seed, b.failures[i].seed);
+    EXPECT_EQ(a.failures[i].earlyStopProb, b.failures[i].earlyStopProb);
+    EXPECT_EQ(a.failures[i].violation, b.failures[i].violation);
+  }
+}
+
+TEST(CampaignTest, FuzzResultIdenticalAcrossJobCounts) {
+  core::FormPatternAlgorithm algo;
+  config::Rng rng(21);
+  const auto start = config::randomConfiguration(6, rng, 4.0, 0.1);
+  const auto pattern = io::starPattern(6);
+  FuzzOptions opts;
+  opts.schedules = 6;
+  const FuzzResult serial = [&] {
+    FuzzOptions o = opts;
+    o.jobs = 1;
+    return fuzzSchedules(algo, start, pattern, o);
+  }();
+  EXPECT_EQ(serial.successes, serial.runs) << serial.firstViolation;
+  for (int jobs : {4, campaignJobs()}) {
+    FuzzOptions o = opts;
+    o.jobs = jobs;
+    expectFuzzEqual(serial, fuzzSchedules(algo, start, pattern, o));
+  }
+}
+
+TEST(CampaignTest, FuzzResultIdenticalAcrossJobCountsWithFaultPlan) {
+  core::FormPatternAlgorithm algo;
+  config::Rng rng(23);
+  const auto start = config::randomConfiguration(6, rng, 4.0, 0.1);
+  const auto pattern = io::randomPatternByName(6, 31);
+  FuzzOptions opts;
+  opts.schedules = 6;
+  opts.expectSuccess = false;
+  // Sensor-faulted runs never end by quiescence; keep the budget small so
+  // this stays fast under TSan.
+  opts.maxEventsPerRun = 4000;
+  opts.crashCount = 1;
+  opts.crashHorizon = 500;
+  opts.noiseSigma = 0.01;
+  const FuzzResult serial = [&] {
+    FuzzOptions o = opts;
+    o.jobs = 1;
+    return fuzzSchedules(algo, start, pattern, o);
+  }();
+  for (int jobs : {4, campaignJobs()}) {
+    FuzzOptions o = opts;
+    o.jobs = jobs;
+    expectFuzzEqual(serial, fuzzSchedules(algo, start, pattern, o));
+  }
+}
+
+}  // namespace
+}  // namespace apf::sim

@@ -1,0 +1,109 @@
+/// Configuration's memoized smallest enclosing circle: the cache must be
+/// invisible — sec() always returns exactly what a fresh Welzl run over the
+/// current points returns, across mutation, copy, and move. Labelled `perf`
+/// so the TSan CI lane runs it alongside the campaign tests.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "config/configuration.h"
+#include "config/generator.h"
+#include "geom/sec.h"
+
+namespace apf::config {
+namespace {
+
+/// Exact (bit-level) circle comparison: the cache stores the result of the
+/// very same smallestEnclosingCircle call, so nothing may differ.
+void expectSecFresh(const Configuration& cfg, const char* what) {
+  const Circle fresh = geom::smallestEnclosingCircle(cfg.span());
+  const Circle cached = cfg.sec();
+  EXPECT_EQ(cached.center.x, fresh.center.x) << what;
+  EXPECT_EQ(cached.center.y, fresh.center.y) << what;
+  EXPECT_EQ(cached.radius, fresh.radius) << what;
+}
+
+TEST(SecCacheTest, CachedMatchesFreshOnRandomConfigurations) {
+  for (int trial = 0; trial < 50; ++trial) {
+    Rng rng(100 + trial);
+    const std::size_t n = 1 + static_cast<std::size_t>(trial % 40);
+    const Configuration cfg = randomConfiguration(n, rng, 5.0, 0.05);
+    expectSecFresh(cfg, "first call");
+    expectSecFresh(cfg, "second call (cache hit)");
+  }
+}
+
+TEST(SecCacheTest, MutationThroughIndexInvalidates) {
+  Rng rng(7);
+  Configuration cfg = randomConfiguration(10, rng, 3.0, 0.1);
+  const Circle before = cfg.sec();
+  cfg[0] = Vec2{100.0, 100.0};  // far outside the old circle
+  const Circle after = cfg.sec();
+  EXPECT_GT(after.radius, before.radius);
+  expectSecFresh(cfg, "after operator[] mutation");
+}
+
+TEST(SecCacheTest, PushBackInvalidates) {
+  Rng rng(8);
+  Configuration cfg = randomConfiguration(10, rng, 3.0, 0.1);
+  const Circle before = cfg.sec();
+  cfg.push_back(Vec2{-50.0, 40.0});
+  const Circle after = cfg.sec();
+  EXPECT_GT(after.radius, before.radius);
+  expectSecFresh(cfg, "after push_back");
+}
+
+TEST(SecCacheTest, ConstAccessDoesNotInvalidate) {
+  Rng rng(9);
+  Configuration cfg = randomConfiguration(12, rng, 3.0, 0.1);
+  const Circle warm = cfg.sec();
+  const Configuration& view = cfg;
+  (void)view[3];        // const operator[] must not touch the cache
+  (void)view.points();
+  const Circle again = cfg.sec();
+  EXPECT_EQ(warm.center.x, again.center.x);
+  EXPECT_EQ(warm.center.y, again.center.y);
+  EXPECT_EQ(warm.radius, again.radius);
+}
+
+TEST(SecCacheTest, CopyCarriesIndependentCache) {
+  Rng rng(10);
+  Configuration a = randomConfiguration(9, rng, 3.0, 0.1);
+  const Circle orig = a.sec();  // warm before copying
+  Configuration b = a;
+  a[0] = Vec2{200.0, 0.0};  // mutating the source must not disturb the copy
+  const Circle bSec = b.sec();
+  EXPECT_EQ(bSec.center.x, orig.center.x);
+  EXPECT_EQ(bSec.center.y, orig.center.y);
+  EXPECT_EQ(bSec.radius, orig.radius);
+  expectSecFresh(b, "copy");
+  expectSecFresh(a, "mutated source");
+}
+
+TEST(SecCacheTest, MoveTransfersCacheAndResetsSource) {
+  Rng rng(11);
+  Configuration a = randomConfiguration(9, rng, 3.0, 0.1);
+  const Circle orig = a.sec();
+  Configuration b = std::move(a);
+  const Circle moved = b.sec();
+  EXPECT_EQ(moved.center.x, orig.center.x);
+  EXPECT_EQ(moved.center.y, orig.center.y);
+  EXPECT_EQ(moved.radius, orig.radius);
+  // The moved-from object is reusable: its stale cache must be gone.
+  a = Configuration();
+  a.push_back(Vec2{1.0, 0.0});
+  a.push_back(Vec2{-1.0, 0.0});
+  expectSecFresh(a, "reused moved-from object");
+
+  Configuration c = randomConfiguration(7, rng, 3.0, 0.1);
+  const Circle cOrig = c.sec();
+  Configuration d;
+  d = std::move(c);  // move-assignment path
+  EXPECT_EQ(d.sec().radius, cOrig.radius);
+  expectSecFresh(d, "move-assigned target");
+}
+
+}  // namespace
+}  // namespace apf::config
