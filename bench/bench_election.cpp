@@ -15,6 +15,7 @@ using namespace apf;
 using namespace apf::bench;
 
 int main() {
+  apf::bench::TraceSession trace("bench_election");
   const int kSeeds = 60;
   core::RsbOnlyAlgorithm rsb;
 

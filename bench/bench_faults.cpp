@@ -26,6 +26,7 @@ using namespace apf;
 using namespace apf::bench;
 
 int main() {
+  apf::bench::TraceSession trace("bench_faults");
   const int kSeeds = 10;
   const std::size_t kN = 10;
   core::FormPatternAlgorithm algo;

@@ -15,6 +15,7 @@ using namespace apf;
 using namespace apf::bench;
 
 int main() {
+  apf::bench::TraceSession trace("bench_formation");
   const int kSeeds = 10;
   core::FormPatternAlgorithm algo;
 

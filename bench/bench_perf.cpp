@@ -43,6 +43,9 @@ struct WorkloadResult {
   double wallMs = 0.0;
   double perSec = 0.0;   ///< runs (or ops) per second
   double speedup = 1.0;  ///< vs. the serial / un-memoized baseline
+  /// Pool telemetry, present on parallel campaign rows only.
+  bool hasPool = false;
+  sim::CampaignStats pool;
 };
 
 /// Order-independent campaign fingerprint for the determinism cross-check.
@@ -62,7 +65,8 @@ double timeMs(F&& f) {
 }
 
 Aggregate runWorkload(bool formation, std::size_t n, int runs,
-                      std::uint64_t maxEvents, int jobs) {
+                      std::uint64_t maxEvents, int jobs,
+                      sim::CampaignStats* stats = nullptr) {
   core::FormPatternAlgorithm form;
   core::RsbOnlyAlgorithm rsb;
   const sim::Algorithm& algo =
@@ -97,7 +101,7 @@ Aggregate runWorkload(bool formation, std::size_t n, int runs,
         agg.randomBits += res.metrics.randomBits;
         agg.successes += res.success;
       },
-      jobs);
+      jobs, stats);
   return agg;
 }
 
@@ -108,6 +112,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
   }
+  // APF_OBS_TRACE=1 captures every engine/campaign span of the bench into
+  // results/bench_perf.trace.json (timing numbers then include the ~2
+  // clock reads per span; don't mix traced and untraced baselines).
+  TraceSession trace("bench_perf");
   const int parJobs = sim::campaignJobs();
 
   Table table("TP: perf baseline (campaign throughput + geometry micro)",
@@ -120,6 +128,18 @@ int main(int argc, char** argv) {
                std::to_string(w.runs), io::fmt(w.wallMs, 1),
                io::fmt(w.perSec, 2), io::fmt(w.speedup, 2)});
     out.push_back(std::move(w));
+  };
+  auto make = [](const char* workload, std::size_t n, int jobs, int runs,
+                 double wallMs, double perSec, double speedup) {
+    WorkloadResult w;
+    w.workload = workload;
+    w.n = n;
+    w.jobs = jobs;
+    w.runs = runs;
+    w.wallMs = wallMs;
+    w.perSec = perSec;
+    w.speedup = speedup;
+    return w;
   };
 
   // --- campaign throughput -----------------------------------------------
@@ -142,17 +162,35 @@ int main(int argc, char** argv) {
       {"formation_campaign", true, 64, 2400, 8},
       {"formation_campaign", true, 256, 150, 4},
   };
+  // Pool behavior aggregated over every parallel campaign in the bench;
+  // attached to the CSV manifest under campaign.* for apf_report.
+  sim::CampaignStats poolTotal;
+  auto foldPool = [&](const sim::CampaignStats& s) {
+    poolTotal.jobs = std::max(poolTotal.jobs, s.jobs);
+    poolTotal.items += s.items;
+    poolTotal.wallNanos += s.wallNanos;
+    poolTotal.workerBusyNanos += s.workerBusyNanos;
+    poolTotal.workerIdleNanos += s.workerIdleNanos;
+    poolTotal.mailboxHighWater =
+        std::max(poolTotal.mailboxHighWater, s.mailboxHighWater);
+    poolTotal.pendingHighWater =
+        std::max(poolTotal.pendingHighWater, s.pendingHighWater);
+    poolTotal.mergeStallNanos += s.mergeStallNanos;
+    poolTotal.mergeNanos += s.mergeNanos;
+  };
   for (const Cell& cell : cells) {
     const std::uint64_t cap =
         quick ? std::max<std::uint64_t>(50, cell.maxEvents / 4)
               : cell.maxEvents;
     const int runs = quick ? std::max(2, cell.runs / 2) : cell.runs;
     Aggregate serialAgg, parAgg;
+    sim::CampaignStats poolStats;
     const double serialMs = timeMs([&] {
       serialAgg = runWorkload(cell.formation, cell.n, runs, cap, 1);
     });
     const double parMs = timeMs([&] {
-      parAgg = runWorkload(cell.formation, cell.n, runs, cap, parJobs);
+      parAgg = runWorkload(cell.formation, cell.n, runs, cap, parJobs,
+                           &poolStats);
     });
     if (!(serialAgg == parAgg)) {
       std::fprintf(stderr,
@@ -161,10 +199,14 @@ int main(int argc, char** argv) {
                    cell.name, cell.n);
       return 1;
     }
-    record({cell.name, cell.n, 1, runs, serialMs,
-            1000.0 * runs / serialMs, 1.0});
-    record({cell.name, cell.n, parJobs, runs, parMs, 1000.0 * runs / parMs,
-            serialMs / parMs});
+    record(make(cell.name, cell.n, 1, runs, serialMs,
+                1000.0 * runs / serialMs, 1.0));
+    WorkloadResult par = make(cell.name, cell.n, parJobs, runs, parMs,
+                              1000.0 * runs / parMs, serialMs / parMs);
+    par.hasPool = true;
+    par.pool = poolStats;
+    foldPool(poolStats);
+    record(std::move(par));
   }
 
   // --- geometry microbenches ---------------------------------------------
@@ -178,15 +220,15 @@ int main(int argc, char** argv) {
         checksum += geom::smallestEnclosingCircle(cfg.span()).radius;
       }
     });
-    record({"sec_fresh", n, 1, secIters, freshMs, 1000.0 * secIters / freshMs,
-            1.0});
+    record(make("sec_fresh", n, 1, secIters, freshMs,
+                1000.0 * secIters / freshMs, 1.0));
     const double cachedMs = timeMs([&] {
       for (int i = 0; i < secIters; ++i) checksum += cfg.sec().radius;
     });
     // For sec_cached, "speedup" is the memoization win over sec_fresh.
-    record({"sec_cached", n, 1, secIters, cachedMs,
-            1000.0 * secIters / cachedMs,
-            cachedMs > 0.0 ? freshMs / cachedMs : 0.0});
+    record(make("sec_cached", n, 1, secIters, cachedMs,
+                1000.0 * secIters / cachedMs,
+                cachedMs > 0.0 ? freshMs / cachedMs : 0.0));
     const int weberIters = std::max(5, (quick ? 20 : 200) * 64 /
                                            static_cast<int>(n));
     const double weberMs = timeMs([&] {
@@ -194,13 +236,21 @@ int main(int argc, char** argv) {
         checksum += geom::weberPoint(cfg.span()).x;
       }
     });
-    record({"weber", n, 1, weberIters, weberMs,
-            1000.0 * weberIters / weberMs, 1.0});
+    record(make("weber", n, 1, weberIters, weberMs,
+                1000.0 * weberIters / weberMs, 1.0));
   }
 
+  sim::appendManifest(poolTotal, table.meta());
   table.print();
   std::printf("(checksum %.3f, hardware_concurrency %u)\n", checksum,
               std::thread::hardware_concurrency());
+  std::printf(
+      "campaign pool: jobs %d, utilization %.1f%%, mailbox hwm %llu, "
+      "pending hwm %llu, merge stall %.1f ms\n",
+      poolTotal.jobs, 100.0 * poolTotal.utilization(),
+      static_cast<unsigned long long>(poolTotal.mailboxHighWater),
+      static_cast<unsigned long long>(poolTotal.pendingHighWater),
+      static_cast<double>(poolTotal.mergeStallNanos) / 1e6);
 
   // --- BENCH_perf.json ----------------------------------------------------
   std::string entries;
@@ -213,6 +263,13 @@ int main(int argc, char** argv) {
     jw.field("wall_ms", w.wallMs);
     jw.field("runs_per_sec", w.perSec);
     jw.field("speedup_vs_serial", w.speedup);
+    if (w.hasPool) {
+      jw.field("pool_utilization", w.pool.utilization());
+      jw.field("pool_mailbox_high_water", w.pool.mailboxHighWater);
+      jw.field("pool_pending_high_water", w.pool.pendingHighWater);
+      jw.field("pool_merge_stall_ms",
+               static_cast<double>(w.pool.mergeStallNanos) / 1e6);
+    }
     if (!entries.empty()) entries += ",";
     entries += jw.str();
   }
@@ -223,6 +280,16 @@ int main(int argc, char** argv) {
             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   top.field("serial_jobs", 1);
   top.field("parallel_jobs", parJobs);
+  {
+    obs::Manifest cm;
+    sim::appendManifest(poolTotal, cm);
+    obs::JsonObjectWriter cw;
+    for (const auto& [k, v] : cm.entries()) {
+      // Strip the "campaign." prefix: the keys nest under one object here.
+      cw.rawField(k.substr(k.find('.') + 1), v);
+    }
+    top.rawField("campaign", cw.str());
+  }
   top.rawField("workloads", "[" + entries + "]");
   const std::string jsonPath = resultsPath("BENCH_perf.json");
   std::ofstream js(jsonPath);

@@ -15,6 +15,7 @@ using namespace apf;
 using namespace apf::bench;
 
 int main() {
+  apf::bench::TraceSession trace("bench_scheduler");
   const int kSeeds = 10;
   core::FormPatternAlgorithm algo;
 

@@ -30,6 +30,7 @@
 #include "io/patterns.h"
 #include "obs/manifest.h"
 #include "obs/recorder.h"
+#include "obs/span.h"
 #include "sim/campaign.h"
 #include "sim/engine.h"
 
@@ -93,6 +94,59 @@ inline bool obsEvents() {
   }();
   return on;
 }
+
+/// Whether to capture a Chrome trace of the whole bench (APF_OBS_TRACE=1).
+inline bool obsTrace() {
+  static const bool on = [] {
+    const char* v = std::getenv("APF_OBS_TRACE");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return on;
+}
+
+/// RAII trace capture for a bench binary. When APF_OBS_TRACE=1, installs an
+/// obs::SpanCollector for the object's lifetime and writes
+/// `<name>.trace.json` (into APF_OBS_DIR when set, else resultsDir()) at
+/// destruction — load it in chrome://tracing or Perfetto. When the variable
+/// is unset this is a no-op and every ScopedSpan in the bench stays on the
+/// one-branch null-sink path. Construct in main() before any campaign and
+/// destroy after all worker threads have joined (the collector's snapshot
+/// contract); campaigns inside a bench always join before returning, so
+/// scoping the session to main() satisfies this.
+class TraceSession {
+ public:
+  explicit TraceSession(const std::string& name) {
+    if (!obsTrace()) return;
+    const char* dir = obsDir();
+    const std::string d = dir != nullptr ? std::string(dir) : resultsDir();
+    std::filesystem::create_directories(d);
+    path_ = d + "/" + name + ".trace.json";
+    collector_ = std::make_unique<obs::SpanCollector>();
+    collector_->install();
+  }
+  ~TraceSession() {
+    if (!collector_) return;
+    obs::SpanCollector::uninstall();
+    try {
+      collector_->writeChromeTrace(path_);
+      std::fprintf(stderr, "trace: wrote %s (%llu spans, %llu dropped)\n",
+                   path_.c_str(),
+                   static_cast<unsigned long long>(
+                       collector_->snapshot().size()),
+                   static_cast<unsigned long long>(
+                       collector_->droppedCount()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace: FAILED to write %s: %s\n", path_.c_str(),
+                   e.what());
+    }
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::unique_ptr<obs::SpanCollector> collector_;
+  std::string path_;
+};
 
 inline sim::RunResult runOnce(const config::Configuration& start,
                               const config::Configuration& pattern,
@@ -180,6 +234,10 @@ class Table {
     rows_.push_back(std::move(cells));
   }
 
+  /// Extra keys folded into the CSV's manifest at print() time. Benches use
+  /// this to attach e.g. `campaign.*` pool statistics to their output.
+  obs::Manifest& meta() { return meta_; }
+
   void print() const {
     // A bench's CSV is a run/bench output: give it a manifest so any row
     // can be traced back to the producing build.
@@ -190,6 +248,7 @@ class Table {
       m.set("title", title_);
       m.set("csv", csvPath_);
       m.set("rows", static_cast<std::uint64_t>(rows_.size()));
+      m.merge(meta_);
       m.write(csvPath_ + ".manifest.json");
     }
     std::printf("\n== %s ==\n", title_.c_str());
@@ -217,6 +276,7 @@ class Table {
   std::vector<std::string> header_;
   io::CsvWriter csv_;
   std::vector<std::vector<std::string>> rows_;
+  obs::Manifest meta_;
 };
 
 /// Symmetric start with n robots (n even >= 4): rho = n / rings-gons.

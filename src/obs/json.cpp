@@ -218,7 +218,111 @@ bool parseValue(std::string_view s, std::size_t& i, JsonValue& out) {
   return false;  // nested objects/arrays are not part of the dialect
 }
 
+// Recursive-descent parser for the general tree form. Depth is bounded to
+// keep adversarial inputs from exhausting the stack; the documents this
+// repository reads are at most three levels deep.
+constexpr int kMaxDepth = 64;
+
+bool parseNode(std::string_view s, std::size_t& i, JsonNode& out, int depth) {
+  if (depth > kMaxDepth) return false;
+  skipWs(s, i);
+  if (i >= s.size()) return false;
+  const char c = s[i];
+  if (c == '{') {
+    ++i;
+    out.kind = JsonNode::Kind::Object;
+    skipWs(s, i);
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      skipWs(s, i);
+      std::string key;
+      if (!parseString(s, i, key)) return false;
+      skipWs(s, i);
+      if (i >= s.size() || s[i] != ':') return false;
+      ++i;
+      JsonNode value;
+      if (!parseNode(s, i, value, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      skipWs(s, i);
+      if (i >= s.size()) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == '}') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (c == '[') {
+    ++i;
+    out.kind = JsonNode::Kind::Array;
+    skipWs(s, i);
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      JsonNode item;
+      if (!parseNode(s, i, item, depth + 1)) return false;
+      out.items.push_back(std::move(item));
+      skipWs(s, i);
+      if (i >= s.size()) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == ']') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  JsonValue scalar;
+  if (!parseValue(s, i, scalar)) return false;
+  switch (scalar.kind) {
+    case JsonValue::Kind::Null:
+      out.kind = JsonNode::Kind::Null;
+      break;
+    case JsonValue::Kind::Bool:
+      out.kind = JsonNode::Kind::Bool;
+      out.boolean = scalar.boolean;
+      break;
+    case JsonValue::Kind::Number:
+      out.kind = JsonNode::Kind::Number;
+      out.number = scalar.number;
+      break;
+    case JsonValue::Kind::String:
+      out.kind = JsonNode::Kind::String;
+      out.string = std::move(scalar.string);
+      break;
+  }
+  return true;
+}
+
 }  // namespace
+
+const JsonNode* JsonNode::find(std::string_view key) const {
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<JsonNode> parseJson(std::string_view text) {
+  std::size_t i = 0;
+  JsonNode root;
+  if (!parseNode(text, i, root, 0)) return std::nullopt;
+  skipWs(text, i);
+  if (i != text.size()) return std::nullopt;
+  return root;
+}
 
 std::optional<JsonObject> parseFlatObject(std::string_view text) {
   std::size_t i = 0;

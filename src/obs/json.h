@@ -13,6 +13,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace apf::obs {
 
@@ -70,5 +72,37 @@ using JsonObject = std::map<std::string, JsonValue, std::less<>>;
 /// arrays are rejected (returns nullopt) — the telemetry dialect is flat on
 /// purpose so every consumer stays trivial.
 std::optional<JsonObject> parseFlatObject(std::string_view text);
+
+/// One node of a fully general JSON document. The flat dialect above stays
+/// the interchange format for manifests and event logs; this tree form
+/// exists for the few documents that are nested by an external schema —
+/// `BENCH_perf.json` (array of workload objects, read by `apf_bench_diff`)
+/// and Chrome trace-event files (validated structurally by tests).
+struct JsonNode {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonNode> items;  ///< Array elements, in order.
+  /// Object members, in document order (duplicate keys are kept).
+  std::vector<std::pair<std::string, JsonNode>> members;
+
+  /// First member with `key`, or nullptr (objects only).
+  const JsonNode* find(std::string_view key) const;
+  double asNumber(double fallback = 0.0) const {
+    return kind == Kind::Number ? number : fallback;
+  }
+  std::string asString(const std::string& fallback = "") const {
+    return kind == Kind::String ? string : fallback;
+  }
+  bool asBool(bool fallback = false) const {
+    return kind == Kind::Bool ? boolean : fallback;
+  }
+};
+
+/// Parses an arbitrary JSON document (object/array/scalar root, any
+/// nesting). Returns nullopt on malformed input or trailing garbage.
+std::optional<JsonNode> parseJson(std::string_view text);
 
 }  // namespace apf::obs

@@ -47,6 +47,10 @@ void Manifest::set(const std::string& key, bool value) {
   put(key, value ? "true" : "false");
 }
 
+void Manifest::merge(const Manifest& other) {
+  for (const auto& [k, v] : other.entries_) put(k, v);
+}
+
 const std::string* Manifest::findEncoded(const std::string& key) const {
   for (const auto& [k, v] : entries_) {
     if (k == key) return &v;

@@ -33,6 +33,11 @@ class Manifest {
   /// JSON encoding (strings include quotes).
   const std::string* findEncoded(const std::string& key) const;
 
+  /// Copies every entry of `other` into this manifest (same overwrite
+  /// semantics as set()). Lets producers fold a prepared block of keys —
+  /// e.g. `campaign.*` pool statistics — into an output manifest.
+  void merge(const Manifest& other);
+
   /// Single-line JSON object, keys in insertion order.
   std::string toJson() const;
 

@@ -1,0 +1,188 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace apf::obs {
+
+namespace detail {
+std::atomic<SpanCollector*> g_spanCollector{nullptr};
+}  // namespace detail
+
+namespace {
+
+// Generation counter distinguishing successive install()s: a thread's
+// cached buffer pointer is only valid for the generation it registered
+// under, so a re-installed (or different) collector can never be handed a
+// stale buffer belonging to a destroyed one.
+std::atomic<std::uint64_t> g_generation{0};
+thread_local void* t_buf = nullptr;
+thread_local std::uint64_t t_generation = 0;
+
+}  // namespace
+
+SpanCollector::SpanCollector(std::size_t maxSpansPerThread)
+    : maxPerThread_(std::max<std::size_t>(1, maxSpansPerThread)) {}
+
+SpanCollector::~SpanCollector() {
+  if (current() == this) uninstall();
+}
+
+void SpanCollector::install() {
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  detail::g_spanCollector.store(this, std::memory_order_release);
+}
+
+void SpanCollector::uninstall() {
+  detail::g_spanCollector.store(nullptr, std::memory_order_release);
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpanCollector::ThreadBuf& SpanCollector::threadBuf() {
+  const std::uint64_t gen = g_generation.load(std::memory_order_relaxed);
+  if (t_buf != nullptr && t_generation == gen) {
+    return *static_cast<ThreadBuf*>(t_buf);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buf = std::make_unique<ThreadBuf>();
+  buf->tid = static_cast<int>(threads_.size());
+  buf->spans.reserve(1024);
+  threads_.push_back(std::move(buf));
+  t_buf = threads_.back().get();
+  t_generation = gen;
+  return *threads_.back().get();
+}
+
+void SpanCollector::append(const Span& span) {
+  ThreadBuf& buf = threadBuf();
+  if (buf.spans.size() >= maxPerThread_) {
+    buf.dropped += 1;
+    return;
+  }
+  buf.spans.push_back(span);
+}
+
+std::vector<Span> SpanCollector::snapshot() const {
+  std::vector<Span> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t total = 0;
+    for (const auto& t : threads_) total += t->spans.size();
+    all.reserve(total);
+    for (const auto& t : threads_) {
+      all.insert(all.end(), t->spans.begin(), t->spans.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Span& a, const Span& b) {
+                     return a.startNanos < b.startNanos;
+                   });
+  return all;
+}
+
+std::uint64_t SpanCollector::droppedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t dropped = 0;
+  for (const auto& t : threads_) dropped += t->dropped;
+  return dropped;
+}
+
+std::size_t SpanCollector::threadCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
+}
+
+void SpanCollector::writeChromeTrace(std::ostream& os) const {
+  // Spans are re-collected per thread (not via snapshot()) so each event
+  // carries the tid of the recording thread.
+  struct Tagged {
+    Span span;
+    int tid;
+  };
+  std::vector<Tagged> all;
+  std::size_t nThreads = 0;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nThreads = threads_.size();
+    std::size_t total = 0;
+    for (const auto& t : threads_) total += t->spans.size();
+    all.reserve(total);
+    for (const auto& t : threads_) {
+      dropped += t->dropped;
+      for (const Span& s : t->spans) all.push_back({s, t->tid});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.span.startNanos < b.span.startNanos;
+                   });
+  // Normalize to the earliest start so timestamps are small; Chrome's
+  // trace-event format wants microseconds (fractional allowed).
+  const std::uint64_t origin = all.empty() ? 0 : all.front().span.startNanos;
+  auto micros = [origin](std::uint64_t nanos, bool relative) {
+    const std::uint64_t base = relative ? nanos - origin : nanos;
+    return static_cast<double>(base) / 1000.0;
+  };
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata events let Perfetto label the tracks.
+  for (std::size_t t = 0; t < nThreads; ++t) {
+    JsonObjectWriter w;
+    w.field("ph", "M");
+    w.field("name", "thread_name");
+    w.field("pid", 1);
+    w.field("tid", static_cast<std::int64_t>(t));
+    JsonObjectWriter args;
+    args.field("name", t == 0 ? std::string("main")
+                              : "worker-" + std::to_string(t));
+    w.rawField("args", args.str());
+    os << (first ? "" : ",") << "\n" << w.str();
+    first = false;
+  }
+  for (const Tagged& e : all) {
+    JsonObjectWriter w;
+    w.field("name", e.span.name == nullptr ? "?" : e.span.name);
+    w.field("cat", e.span.cat == nullptr ? "" : e.span.cat);
+    w.field("ph", "X");
+    w.field("pid", 1);
+    w.field("tid", static_cast<std::int64_t>(e.tid));
+    w.field("ts", micros(e.span.startNanos, /*relative=*/true));
+    w.field("dur", micros(e.span.durNanos, /*relative=*/false));
+    if (e.span.arg1Name != nullptr || e.span.arg2Name != nullptr) {
+      JsonObjectWriter args;
+      if (e.span.arg1Name != nullptr) {
+        args.field(e.span.arg1Name, e.span.arg1);
+      }
+      if (e.span.arg2Name != nullptr) {
+        args.field(e.span.arg2Name, e.span.arg2);
+      }
+      w.rawField("args", args.str());
+    }
+    os << (first ? "" : ",") << "\n" << w.str();
+    first = false;
+  }
+  JsonObjectWriter other;
+  other.field("span_count", static_cast<std::uint64_t>(all.size()));
+  other.field("dropped_spans", dropped);
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":" << other.str()
+     << "}\n";
+}
+
+void SpanCollector::writeChromeTrace(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("SpanCollector: cannot open for write: " + path);
+  }
+  writeChromeTrace(os);
+  os.flush();
+  if (!os) {
+    throw std::runtime_error("SpanCollector: write failed: " + path);
+  }
+}
+
+}  // namespace apf::obs

@@ -1,0 +1,176 @@
+#pragma once
+
+/// \file span.h
+/// Trace-span profiler: wall-time spans with categories and integer args,
+/// recorded into thread-local append-only buffers and exported as Chrome
+/// trace-event JSON (loadable in chrome://tracing and Perfetto).
+///
+/// The layer follows the same null-sink-is-free contract as
+/// `obs::Recorder`: when no SpanCollector is installed, a would-be span
+/// costs exactly one relaxed atomic load and a predictable branch — no
+/// clock reads, no allocation, no TLS registration — so instrumented and
+/// uninstrumented runs are bit-identical (the spans never touch any RNG).
+///
+/// Recording is multi-thread safe by construction: each thread appends to
+/// its own buffer, and the only lock is taken once per (thread, collector)
+/// pair at registration. Draining (`snapshot` / `writeChromeTrace`) must
+/// only happen while no thread is recording — in practice after campaign
+/// workers have joined or at the end of main(), which is when every caller
+/// in this repository exports its trace.
+///
+/// Usage:
+///   obs::SpanCollector collector;
+///   collector.install();                       // process-wide
+///   {
+///     obs::ScopedSpan span("compute", "engine", "robot", 3);
+///     span.arg2("phase", tag);                 // args may be added late
+///     ...
+///   }
+///   obs::SpanCollector::uninstall();
+///   collector.writeChromeTrace("out.trace.json");
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/stats.h"
+
+namespace apf::obs {
+
+/// One completed span. `name`, `cat`, and arg names must point at storage
+/// that outlives the collector (string literals in practice) — spans are
+/// fixed-size PODs so the record path never allocates.
+struct Span {
+  const char* name = nullptr;
+  const char* cat = "";
+  std::uint64_t startNanos = 0;
+  std::uint64_t durNanos = 0;
+  const char* arg1Name = nullptr;  ///< nullptr = no first arg
+  std::int64_t arg1 = 0;
+  const char* arg2Name = nullptr;  ///< nullptr = no second arg
+  std::int64_t arg2 = 0;
+};
+
+class SpanCollector {
+ public:
+  /// Per-thread buffer cap: beyond it spans are counted as dropped rather
+  /// than recorded, bounding memory on pathological runs. The default
+  /// (4M spans/thread, 64 B each) is far above any workload in the repo.
+  explicit SpanCollector(std::size_t maxSpansPerThread = std::size_t{1}
+                                                         << 22);
+  ~SpanCollector();
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  /// Makes this collector the process-wide recording target.
+  void install();
+  /// Detaches whatever collector is installed (spans become free again).
+  static void uninstall();
+  /// Currently installed collector, or nullptr (one relaxed load).
+  static SpanCollector* current();
+
+  /// Appends a finished span to the calling thread's buffer (registering
+  /// the thread on first use). Safe to call concurrently from any number
+  /// of threads.
+  void append(const Span& span);
+
+  /// All recorded spans sorted by start time. Only call while no thread is
+  /// recording (see file comment).
+  std::vector<Span> snapshot() const;
+  /// Spans discarded because a thread buffer hit its cap.
+  std::uint64_t droppedCount() const;
+  /// Threads that have recorded at least one span.
+  std::size_t threadCount() const;
+
+  /// Writes the Chrome trace-event JSON document
+  /// (`{"traceEvents":[...]}`, "X" complete events, ts/dur in
+  /// microseconds). Same quiescence requirement as snapshot().
+  void writeChromeTrace(std::ostream& os) const;
+  /// Same, to a file; throws std::runtime_error on open/write failure —
+  /// a requested trace is never silently lost.
+  void writeChromeTrace(const std::string& path) const;
+
+ private:
+  struct ThreadBuf {
+    std::vector<Span> spans;
+    std::uint64_t dropped = 0;
+    int tid = 0;
+  };
+
+  /// The calling thread's buffer, registering it under `mu_` on first use.
+  ThreadBuf& threadBuf();
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuf>> threads_;
+  std::size_t maxPerThread_;
+};
+
+namespace detail {
+extern std::atomic<SpanCollector*> g_spanCollector;
+}  // namespace detail
+
+inline SpanCollector* SpanCollector::current() {
+  return detail::g_spanCollector.load(std::memory_order_relaxed);
+}
+
+/// RAII span: captures the installed collector and the start time at
+/// construction, appends the completed span at scope exit. When no
+/// collector is installed the constructor is a load + branch and the
+/// destructor a branch — nothing else happens.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* cat) {
+    if (SpanCollector* c = SpanCollector::current()) start(c, name, cat);
+  }
+  ScopedSpan(const char* name, const char* cat, const char* arg1Name,
+             std::int64_t arg1) {
+    if (SpanCollector* c = SpanCollector::current()) {
+      start(c, name, cat);
+      span_.arg1Name = arg1Name;
+      span_.arg1 = arg1;
+    }
+  }
+  ~ScopedSpan() {
+    if (collector_ != nullptr) {
+      span_.durNanos = nowNanos() - span_.startNanos;
+      collector_->append(span_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Sets/overwrites the first integer arg (no-op when recording is off);
+  /// usable after construction for values only known late in the scope.
+  void arg1(const char* name, std::int64_t value) {
+    if (collector_ != nullptr) {
+      span_.arg1Name = name;
+      span_.arg1 = value;
+    }
+  }
+  /// Sets/overwrites the second integer arg (no-op when recording is off).
+  void arg2(const char* name, std::int64_t value) {
+    if (collector_ != nullptr) {
+      span_.arg2Name = name;
+      span_.arg2 = value;
+    }
+  }
+  /// True when a collector was installed at construction.
+  bool active() const { return collector_ != nullptr; }
+
+ private:
+  void start(SpanCollector* c, const char* name, const char* cat) {
+    collector_ = c;
+    span_.name = name;
+    span_.cat = cat;
+    span_.startNanos = nowNanos();
+  }
+
+  SpanCollector* collector_ = nullptr;
+  Span span_;
+};
+
+}  // namespace apf::obs

@@ -7,6 +7,7 @@
 #include "config/similarity.h"
 #include "geom/angle.h"
 #include "obs/recorder.h"
+#include "obs/span.h"
 #include "obs/stats.h"
 
 namespace apf::sim {
@@ -247,6 +248,8 @@ Action Engine::computeFor(std::size_t i, sched::RandomSource& rng) {
 }
 
 void Engine::look(std::size_t i) {
+  obs::ScopedSpan span("look", "engine", "robot",
+                       static_cast<std::int64_t>(i));
   const std::uint64_t t0 = timed_ ? obs::nowNanos() : 0;
   robots_[i].snap = takeSnapshot(i);
   robots_[i].snapVersion = configVersion_;
@@ -263,9 +266,12 @@ void Engine::look(std::size_t i) {
 
 bool Engine::compute(std::size_t i) {
   Robot& r = robots_[i];
+  obs::ScopedSpan span("compute", "engine", "robot",
+                       static_cast<std::int64_t>(i));
   const std::uint64_t bitsBefore = rng_.bitsConsumed();
   const std::uint64_t t0 = timed_ ? obs::nowNanos() : 0;
   Action act = computeFor(i, rng_);
+  span.arg2("phase", act.phaseTag);
   const std::uint64_t durNanos = timed_ ? obs::nowNanos() - t0 : 0;
   const std::uint64_t bitsUsed = rng_.bitsConsumed() - bitsBefore;
   const std::uint64_t staleness = configVersion_ - r.snapVersion;
@@ -330,6 +336,9 @@ bool Engine::compute(std::size_t i) {
 
 bool Engine::moveStep(std::size_t i, bool full) {
   Robot& r = robots_[i];
+  obs::ScopedSpan span("move", "engine", "robot",
+                       static_cast<std::int64_t>(i));
+  span.arg2("phase", robots_[i].phaseTag);
   const std::uint64_t t0 = timed_ ? obs::nowNanos() : 0;
   r.phase = Phase::Moving;
   // pathLimit == path.length() unless a ComputeTruncate fault stalled the
@@ -621,6 +630,8 @@ bool Engine::step() {
 }
 
 RunResult Engine::run() {
+  obs::ScopedSpan span("engine_run", "engine", "n",
+                       static_cast<std::int64_t>(current_.size()));
   RunResult res;
   // With stochastic sensor faults quiescence is never inferred (see
   // compute()), so poll for pattern formation instead — throttled, since

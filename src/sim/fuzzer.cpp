@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "config/canonical.h"
+#include "obs/span.h"
 #include "sim/campaign.h"
 
 namespace apf::sim {
@@ -68,6 +69,7 @@ FuzzResult fuzzSchedules(const Algorithm& algo,
   // One schedule, fully thread-confined: its own Engine (which copies start
   // and pattern), RNG streams, fault plan, and observer state.
   auto worker = [&](int run, std::size_t) -> RunRecord {
+    obs::ScopedSpan span("fuzz_run", "fuzzer", "run", run);
     RunRecord rec;
     EngineOptions eopts;
     eopts.seed = 0x5eedu + 77u * static_cast<std::uint64_t>(run);

@@ -11,11 +11,15 @@
 #include <chrono>
 #include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
+#include <tuple>
 
 #include "config/generator.h"
 #include "core/form_pattern.h"
 #include "io/patterns.h"
+#include "obs/manifest.h"
+#include "obs/span.h"
 #include "sim/campaign.h"
 #include "sim/engine.h"
 #include "sim/fuzzer.h"
@@ -188,6 +192,90 @@ TEST(CampaignTest, FuzzResultIdenticalAcrossJobCounts) {
     o.jobs = jobs;
     expectFuzzEqual(serial, fuzzSchedules(algo, start, pattern, o));
   }
+}
+
+/// Telemetry must be passive: requesting CampaignStats and/or recording
+/// spans cannot change a single merged bit (ISSUE acceptance: with no span
+/// sink attached, campaign outputs are bit-identical to uninstrumented
+/// binaries — and with one attached, still identical).
+TEST(CampaignTest, StatsAndSpansLeaveMergedResultsBitIdentical) {
+  core::FormPatternAlgorithm algo;
+  std::vector<int> seeds(8);
+  for (int s = 0; s < 8; ++s) seeds[s] = s;
+  auto worker = [&](int s, std::size_t) {
+    config::Rng rng(500 + s);
+    const auto start = config::randomConfiguration(8, rng, 5.0, 0.1);
+    const auto pattern = io::randomPatternByName(8, 40 + s);
+    EngineOptions opts;
+    opts.seed = 13 * static_cast<std::uint64_t>(s) + 2;
+    opts.sched.kind = sched::SchedulerKind::Async;
+    Engine eng(start, pattern, algo, opts);
+    const RunResult res = eng.run();
+    return std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, bool>(
+        res.metrics.events, res.metrics.cycles, res.metrics.randomBits,
+        res.success);
+  };
+  const auto plain = campaignMap(seeds, worker, 4);
+  for (int jobs : {1, 4}) {
+    CampaignStats stats;
+    const auto withStats = campaignMap(seeds, worker, jobs, &stats);
+    EXPECT_EQ(withStats, plain) << "jobs=" << jobs;
+    EXPECT_EQ(stats.jobs, jobs);
+    EXPECT_EQ(stats.items, seeds.size());
+    EXPECT_GT(stats.workerBusyNanos, 0u);
+    EXPECT_GT(stats.wallNanos, 0u);
+    EXPECT_GE(stats.wallNanos, stats.mergeNanos);
+    EXPECT_GE(stats.utilization(), 0.0);
+    EXPECT_LE(stats.utilization(), 1.0);
+    if (jobs == 1) {
+      // Serial path spawns no threads: no idle, no mailbox, no stall.
+      EXPECT_EQ(stats.workerIdleNanos, 0u);
+      EXPECT_EQ(stats.mailboxHighWater, 0u);
+      EXPECT_EQ(stats.pendingHighWater, 0u);
+      EXPECT_EQ(stats.mergeStallNanos, 0u);
+    } else {
+      EXPECT_GE(stats.mailboxHighWater, 1u);
+      EXPECT_GE(stats.pendingHighWater, 1u);
+    }
+    // Spans recording on top of stats must also change nothing.
+    obs::SpanCollector collector;
+    collector.install();
+    CampaignStats tracedStats;
+    const auto traced = campaignMap(seeds, worker, jobs, &tracedStats);
+    obs::SpanCollector::uninstall();
+    EXPECT_EQ(traced, plain) << "jobs=" << jobs;
+    EXPECT_EQ(tracedStats.items, seeds.size());
+    // The worker body emits engine spans of its own; check only that the
+    // campaign-category spans cover both stages of the executor.
+    bool sawRun = false, sawMerge = false;
+    for (const obs::Span& s : collector.snapshot()) {
+      if (std::string_view(s.cat) != "campaign") continue;
+      if (std::string_view(s.name) == "run") sawRun = true;
+      if (std::string_view(s.name) == "merge") sawMerge = true;
+    }
+    EXPECT_TRUE(sawRun);
+    EXPECT_TRUE(sawMerge);
+  }
+}
+
+TEST(CampaignTest, StatsManifestKeysComplete) {
+  CampaignStats stats;
+  stats.jobs = 4;
+  stats.items = 22;
+  stats.workerBusyNanos = 300;
+  stats.workerIdleNanos = 100;
+  obs::Manifest m;
+  appendManifest(stats, m);
+  for (const char* key :
+       {"campaign.jobs", "campaign.items", "campaign.wall_nanos",
+        "campaign.worker_busy_nanos", "campaign.worker_idle_nanos",
+        "campaign.utilization", "campaign.mailbox_high_water",
+        "campaign.pending_high_water", "campaign.merge_stall_nanos",
+        "campaign.merge_nanos"}) {
+    EXPECT_NE(m.findEncoded(key), nullptr) << key;
+  }
+  EXPECT_EQ(*m.findEncoded("campaign.jobs"), "4");
+  EXPECT_EQ(*m.findEncoded("campaign.utilization"), "0.75");
 }
 
 TEST(CampaignTest, FuzzResultIdenticalAcrossJobCountsWithFaultPlan) {

@@ -54,6 +54,49 @@ TEST(ObsJsonTest, RejectsMalformedAndNested) {
   EXPECT_TRUE(obs::parseFlatObject(" { \"a\" : null } ").has_value());
 }
 
+TEST(ObsJsonTest, TreeParserHandlesNestedDocuments) {
+  const auto doc = obs::parseJson(
+      R"({"schema":"x","quick":false,"workloads":[)"
+      R"({"workload":"a","n":16,"runs_per_sec":12.5},)"
+      R"({"workload":"b","n":64,"runs_per_sec":3.25}],)"
+      R"("meta":{"nested":{"deep":[1,2,3]}}})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->kind, obs::JsonNode::Kind::Object);
+  EXPECT_EQ(doc->find("schema")->asString(), "x");
+  EXPECT_FALSE(doc->find("quick")->asBool(true));
+  const obs::JsonNode* workloads = doc->find("workloads");
+  ASSERT_NE(workloads, nullptr);
+  ASSERT_EQ(workloads->kind, obs::JsonNode::Kind::Array);
+  ASSERT_EQ(workloads->items.size(), 2u);
+  EXPECT_EQ(workloads->items[0].find("workload")->asString(), "a");
+  EXPECT_DOUBLE_EQ(workloads->items[1].find("runs_per_sec")->asNumber(),
+                   3.25);
+  const obs::JsonNode* deep =
+      doc->find("meta")->find("nested")->find("deep");
+  ASSERT_NE(deep, nullptr);
+  ASSERT_EQ(deep->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(deep->items[2].asNumber(), 3.0);
+  // find() on a non-object / missing key returns nullptr, not UB.
+  EXPECT_EQ(workloads->find("x"), nullptr);
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(ObsJsonTest, TreeParserRejectsMalformedInput) {
+  EXPECT_FALSE(obs::parseJson("").has_value());
+  EXPECT_FALSE(obs::parseJson("{\"a\":1").has_value());
+  EXPECT_FALSE(obs::parseJson("[1,2,]").has_value());
+  EXPECT_FALSE(obs::parseJson("{\"a\":1} trailing").has_value());
+  EXPECT_TRUE(obs::parseJson("[]").has_value());
+  EXPECT_TRUE(obs::parseJson("3.5").has_value());
+  EXPECT_TRUE(obs::parseJson("\"s\"").has_value());
+  // Depth guard: pathological nesting fails cleanly instead of blowing
+  // the stack.
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_FALSE(obs::parseJson(deep).has_value());
+}
+
 // --------------------------------------------------------------- stats --
 
 TEST(ObsStatsTest, CounterAndTimerSemantics) {
@@ -98,6 +141,45 @@ TEST(ObsStatsTest, HistogramBucketsAndQuantiles) {
   big.add(std::uint64_t{1} << 60);
   EXPECT_EQ(big.bucket(obs::Histogram::kBuckets - 1), 1u);
   EXPECT_EQ(big.quantileUpperBound(1.0), std::uint64_t{1} << 60);
+}
+
+TEST(ObsStatsTest, HistogramQuantileEdgeCases) {
+  // Empty histogram: every quantile is 0, including the extremes.
+  obs::Histogram empty;
+  EXPECT_EQ(empty.quantileUpperBound(0.0), 0u);
+  EXPECT_EQ(empty.quantileUpperBound(0.5), 0u);
+  EXPECT_EQ(empty.quantileUpperBound(1.0), 0u);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+
+  // Out-of-range q clamps rather than misbehaving.
+  obs::Histogram h;
+  h.add(7);
+  EXPECT_EQ(h.quantileUpperBound(-1.0), h.quantileUpperBound(0.0));
+  EXPECT_EQ(h.quantileUpperBound(2.0), h.quantileUpperBound(1.0));
+
+  // Single value: every quantile names its bucket's bound, capped at the
+  // observed max.
+  EXPECT_EQ(h.quantileUpperBound(0.0), 7u);
+  EXPECT_EQ(h.quantileUpperBound(0.5), 7u);
+  EXPECT_EQ(h.quantileUpperBound(1.0), 7u);
+
+  // All mass in one bucket: the conservative bound is the bucket's upper
+  // bound clamped to the max actually observed.
+  obs::Histogram one;
+  one.add(5);
+  one.add(6);  // both land in bucket 3 = [4, 8)
+  EXPECT_EQ(one.bucket(3), 2u);
+  EXPECT_EQ(one.quantileUpperBound(0.0), 6u);
+  EXPECT_EQ(one.quantileUpperBound(1.0), 6u);
+
+  // q = 0 vs q = 1 straddling buckets: 0-quantile stays in the first
+  // occupied bucket, 1-quantile reaches the last.
+  obs::Histogram wide;
+  wide.add(0);
+  wide.add(1000);
+  EXPECT_EQ(wide.quantileUpperBound(0.0), 0u);
+  EXPECT_EQ(wide.quantileUpperBound(1.0), 1000u);
 }
 
 TEST(ObsStatsTest, HistogramMerge) {
@@ -305,6 +387,40 @@ TEST(ObsEngineTest, JsonlSinkRoundTrip) {
 TEST(ObsEngineTest, JsonlSinkThrowsOnUnwritablePath) {
   EXPECT_THROW(obs::JsonlRecorder("/nonexistent-dir/log.jsonl"),
                std::runtime_error);
+}
+
+TEST(ObsEngineTest, JsonlRecorderDestructorFlushesToDisk) {
+  const std::string path = "/tmp/apf_obs_jsonl_flush_test.jsonl";
+  {
+    obs::JsonlRecorder rec(path);
+    obs::Event e{};
+    e.kind = obs::EventKind::RunStart;
+    rec.record(e);
+    // No explicit flush: the destructor's flush must land the line.
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_TRUE(obs::parseFlatObject(line).has_value()) << line;
+  std::remove(path.c_str());
+}
+
+TEST(ObsEngineTest, JsonlRecorderFailingStreamThrowsOnUseNotOnDestroy) {
+  std::ostringstream os;
+  {
+    obs::JsonlRecorder rec(os);
+    obs::Event e{};
+    e.kind = obs::EventKind::RunStart;
+    rec.record(e);
+    EXPECT_FALSE(os.str().empty());
+    // Break the stream mid-run: record() and flush() must fail loudly —
+    // telemetry is never silently lost — but the destructor, which also
+    // flushes, must stay quiet (throwing destructors terminate).
+    os.setstate(std::ios::badbit);
+    EXPECT_THROW(rec.record(e), std::runtime_error);
+    EXPECT_THROW(rec.flush(), std::runtime_error);
+  }  // destructor runs against the still-failing stream: must not throw
+  SUCCEED();
 }
 
 TEST(ObsEngineTest, NullSinkRunBitIdenticalToUninstrumented) {

@@ -1,0 +1,257 @@
+/// \file apf_bench_diff.cpp
+/// Perf-regression gate: compares two `BENCH_perf.json` documents (written
+/// by bench/bench_perf.cpp) metric by metric, prints a delta table, and
+/// exits non-zero when any workload regressed beyond the noise threshold.
+/// CI's perf-smoke job runs it against the tracked quick-mode baseline in
+/// `results/ci/` (see docs/PERFORMANCE.md for the threshold rationale).
+///
+/// Usage:
+///   apf_bench_diff [options] BASELINE CURRENT
+/// where BASELINE and CURRENT are BENCH_perf.json files, or directories
+/// containing one.
+///
+/// Workloads are matched by (workload, n, serial-vs-parallel) — not by the
+/// literal job count, which varies with the machine running the bench.
+/// A workload present in the baseline but missing from the current file is
+/// itself a regression (coverage loss); new workloads are informational.
+///
+/// Exit codes: 0 = no regressions, 1 = regression(s), 2 = usage/parse
+/// error or incomparable inputs (quick-mode flag mismatch — quick runs cap
+/// per-run events at a quarter of full mode, so their throughput numbers
+/// are not comparable).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace fs = std::filesystem;
+using apf::obs::JsonNode;
+
+namespace {
+
+struct Row {
+  std::string workload;
+  long n = 0;
+  int jobs = 1;
+  double wallMs = 0.0;
+  double perSec = 0.0;
+  double speedup = 1.0;
+};
+
+struct BenchDoc {
+  bool quick = false;
+  std::vector<Row> rows;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: apf_bench_diff [options] BASELINE CURRENT\n"
+      "  BASELINE, CURRENT: BENCH_perf.json files (or directories\n"
+      "  containing one), as written by bench_perf\n"
+      "options:\n"
+      "  --threshold R     allowed runs_per_sec drop as a fraction of the\n"
+      "                    baseline (default 0.35; 0.35 = fail below 65%%\n"
+      "                    of baseline throughput)\n"
+      "  --min-wall-ms MS  noise floor: rows measured in under MS of wall\n"
+      "                    time in BOTH files are reported but never fail\n"
+      "                    the gate (default 5.0)\n"
+      "exit: 0 ok, 1 regression, 2 usage/parse/incomparable inputs\n");
+  return 2;
+}
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "apf_bench_diff: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+std::string resolvePath(const char* arg) {
+  fs::path p(arg);
+  std::error_code ec;
+  if (fs::is_directory(p, ec)) p /= "BENCH_perf.json";
+  return p.string();
+}
+
+double num(const JsonNode& obj, const char* key, double fallback = 0.0) {
+  const JsonNode* v = obj.find(key);
+  return v == nullptr ? fallback : v->asNumber(fallback);
+}
+
+BenchDoc load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) die("cannot open: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const auto doc = apf::obs::parseJson(buf.str());
+  if (!doc || doc->kind != JsonNode::Kind::Object) {
+    die("malformed JSON: " + path);
+  }
+  const JsonNode* schema = doc->find("schema");
+  if (schema == nullptr || schema->asString() != "apf.bench_perf.v1") {
+    die("not a BENCH_perf.json (schema mismatch): " + path);
+  }
+  BenchDoc out;
+  const JsonNode* quick = doc->find("quick");
+  out.quick = quick != nullptr && quick->asBool(false);
+  const JsonNode* workloads = doc->find("workloads");
+  if (workloads == nullptr || workloads->kind != JsonNode::Kind::Array) {
+    die("missing workloads array: " + path);
+  }
+  for (const JsonNode& w : workloads->items) {
+    if (w.kind != JsonNode::Kind::Object) die("malformed workload: " + path);
+    Row r;
+    const JsonNode* name = w.find("workload");
+    r.workload = name == nullptr ? "?" : name->asString("?");
+    r.n = static_cast<long>(num(w, "n"));
+    r.jobs = static_cast<int>(num(w, "jobs", 1.0));
+    r.wallMs = num(w, "wall_ms");
+    r.perSec = num(w, "runs_per_sec");
+    r.speedup = num(w, "speedup_vs_serial", 1.0);
+    out.rows.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// Machine-independent match key: the parallel job count varies with the
+/// host, so rows are identified only by whether they are serial.
+std::string keyOf(const Row& r) {
+  // Built with append: GCC 12's -Wrestrict false-fires on + chains at -O3.
+  std::string key = r.workload;
+  key.append("|n=").append(std::to_string(r.n));
+  key.append(r.jobs == 1 ? "|serial" : "|parallel");
+  return key;
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.35;
+  double minWallMs = 5.0;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "apf_bench_diff: missing value for %s\n", a);
+        std::exit(usage());
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--threshold") == 0) {
+      threshold = std::atof(next());
+      if (threshold <= 0.0 || threshold >= 1.0) {
+        die("--threshold must be in (0, 1)");
+      }
+    } else if (std::strcmp(a, "--min-wall-ms") == 0) {
+      minWallMs = std::atof(next());
+      if (minWallMs < 0.0) die("--min-wall-ms must be non-negative");
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      return usage();
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "apf_bench_diff: unknown option: %s\n", a);
+      return usage();
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.size() != 2) return usage();
+
+  const std::string basePath = resolvePath(paths[0]);
+  const std::string curPath = resolvePath(paths[1]);
+  const BenchDoc base = load(basePath);
+  const BenchDoc cur = load(curPath);
+  if (base.quick != cur.quick) {
+    std::string msg = "incomparable: baseline is ";
+    msg.append(base.quick ? "quick" : "full");
+    msg.append(" mode but current is ");
+    msg.append(cur.quick ? "quick" : "full");
+    msg.append(" mode (per-run event caps differ; regenerate the baseline "
+               "with the same mode)");
+    die(msg);
+  }
+
+  std::map<std::string, Row> current;
+  for (const Row& r : cur.rows) current[keyOf(r)] = r;
+
+  std::printf("baseline: %s\ncurrent:  %s\n", basePath.c_str(),
+              curPath.c_str());
+  std::printf("gate: fail when runs_per_sec < %.0f%% of baseline and "
+              "wall_ms >= %.1f in either file\n\n",
+              100.0 * (1.0 - threshold), minWallMs);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"workload", "base/s", "cur/s", "delta", "wall_ms",
+                  "verdict"});
+  int regressions = 0;
+  std::map<std::string, bool> seen;
+  for (const Row& b : base.rows) {
+    const std::string key = keyOf(b);
+    seen[key] = true;
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      rows.push_back({key, fmt(b.perSec, 2), "-", "-", fmt(b.wallMs, 1),
+                      "MISSING"});
+      ++regressions;
+      continue;
+    }
+    const Row& c = it->second;
+    const double ratio = b.perSec > 0.0 ? c.perSec / b.perSec : 1.0;
+    const double deltaPct = 100.0 * (ratio - 1.0);
+    const bool aboveFloor = b.wallMs >= minWallMs || c.wallMs >= minWallMs;
+    const bool regressed = ratio < 1.0 - threshold && aboveFloor;
+    std::string verdict = "ok";
+    if (regressed) {
+      verdict = "REGRESSED";
+      ++regressions;
+    } else if (!aboveFloor && ratio < 1.0 - threshold) {
+      verdict = "noise";  // would fail, but both runs are below the floor
+    }
+    std::string delta = deltaPct >= 0 ? "+" : "";
+    delta.append(fmt(deltaPct, 1)).append("%");
+    rows.push_back({key, fmt(b.perSec, 2), fmt(c.perSec, 2), delta,
+                    fmt(c.wallMs, 1), verdict});
+  }
+  for (const Row& c : cur.rows) {
+    const std::string key = keyOf(c);
+    if (!seen.count(key)) {
+      rows.push_back({key, "-", fmt(c.perSec, 2), "-", fmt(c.wallMs, 1),
+                      "new"});
+    }
+  }
+
+  std::vector<std::size_t> widths(rows[0].size(), 0);
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  }
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths[i]), r[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+  if (regressions > 0) {
+    std::printf("\n%d workload(s) regressed beyond the %.0f%% threshold\n",
+                regressions, 100.0 * threshold);
+    return 1;
+  }
+  std::printf("\nno regressions\n");
+  return 0;
+}

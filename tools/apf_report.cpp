@@ -6,6 +6,8 @@
 ///  * per-phase activation and wall-time breakdowns,
 ///  * fault-injection accounting (run outcomes, injected faults by kind;
 ///    docs/FAULTS.md),
+///  * campaign-pool statistics (`campaign.*` manifest keys: worker
+///    utilization, mailbox/pending high-water marks, merge stall),
 ///  * event-log statistics (event counts by kind, snapshot staleness),
 ///  * a cross-check that event-log per-phase totals match the manifests'
 ///    `Metrics::phaseActivations` numbers, and that fault/crash event
@@ -16,7 +18,8 @@
 /// or, for whole benchmark campaigns,
 ///   APF_OBS_DIR=obsout [APF_OBS_EVENTS=1] ./build/bench/bench_randbits
 /// and then:
-///   apf_report obsout
+///   apf_report obsout            # human tables
+///   apf_report --json obsout     # one machine-readable JSON object
 
 #include <algorithm>
 #include <cstdio>
@@ -105,10 +108,47 @@ struct Report {
   std::vector<double> staleness;
   std::uint64_t jsonlFiles = 0;
   std::uint64_t badLines = 0;
+  // Campaign-pool telemetry (`campaign.*` manifest keys; sim/campaign.h).
+  // These manifests describe a bench's thread pool, not a single run, so
+  // they are tallied separately from the (algo, sched, n) groups.
+  int campaignManifests = 0;
+  int campaignJobsMax = 0;
+  std::uint64_t campaignItems = 0;
+  std::uint64_t campaignWallNanos = 0;
+  std::uint64_t campaignBusyNanos = 0;
+  std::uint64_t campaignIdleNanos = 0;
+  std::uint64_t campaignMailboxHwm = 0;   // max over manifests
+  std::uint64_t campaignPendingHwm = 0;   // max over manifests
+  std::uint64_t campaignStallNanos = 0;
+  std::uint64_t campaignMergeNanos = 0;
 };
 
 void ingestManifest(const fs::path& path, Report& rep) {
   const JsonObject m = apf::obs::loadFlatJsonFile(path.string());
+  if (m.count("campaign.jobs") != 0) {
+    // Bench-level manifest carrying thread-pool telemetry (bench/common.h
+    // Table::meta()); may coexist with run keys, so not an early return.
+    rep.campaignManifests += 1;
+    rep.campaignJobsMax =
+        std::max(rep.campaignJobsMax, static_cast<int>(num(m, "campaign.jobs")));
+    rep.campaignItems += static_cast<std::uint64_t>(num(m, "campaign.items"));
+    rep.campaignWallNanos +=
+        static_cast<std::uint64_t>(num(m, "campaign.wall_nanos"));
+    rep.campaignBusyNanos +=
+        static_cast<std::uint64_t>(num(m, "campaign.worker_busy_nanos"));
+    rep.campaignIdleNanos +=
+        static_cast<std::uint64_t>(num(m, "campaign.worker_idle_nanos"));
+    rep.campaignMailboxHwm = std::max(
+        rep.campaignMailboxHwm,
+        static_cast<std::uint64_t>(num(m, "campaign.mailbox_high_water")));
+    rep.campaignPendingHwm = std::max(
+        rep.campaignPendingHwm,
+        static_cast<std::uint64_t>(num(m, "campaign.pending_high_water")));
+    rep.campaignStallNanos +=
+        static_cast<std::uint64_t>(num(m, "campaign.merge_stall_nanos"));
+    rep.campaignMergeNanos +=
+        static_cast<std::uint64_t>(num(m, "campaign.merge_nanos"));
+  }
   if (m.count("result.success") == 0) return;  // table manifest, not a run
   const std::string key = str(m, "algo") + " | " + str(m, "sched.kind") +
                           " | n=" + std::to_string(
@@ -274,6 +314,28 @@ void printFaults(const Report& rep) {
   }
 }
 
+void printCampaign(const Report& rep) {
+  if (rep.campaignManifests == 0) return;
+  std::printf("\n== campaign pool (sim/campaign.h) ==\n");
+  const double total =
+      static_cast<double>(rep.campaignBusyNanos + rep.campaignIdleNanos);
+  std::printf(
+      "manifests: %d; jobs (max): %d; items: %llu\n"
+      "worker busy %.1f ms, idle %.1f ms (utilization %.1f%%)\n"
+      "mailbox hwm %llu, pending hwm %llu, merge stall %.1f ms, "
+      "merge %.1f ms\n",
+      rep.campaignManifests, rep.campaignJobsMax,
+      static_cast<unsigned long long>(rep.campaignItems),
+      static_cast<double>(rep.campaignBusyNanos) / 1e6,
+      static_cast<double>(rep.campaignIdleNanos) / 1e6,
+      total > 0.0 ? 100.0 * static_cast<double>(rep.campaignBusyNanos) / total
+                  : 0.0,
+      static_cast<unsigned long long>(rep.campaignMailboxHwm),
+      static_cast<unsigned long long>(rep.campaignPendingHwm),
+      static_cast<double>(rep.campaignStallNanos) / 1e6,
+      static_cast<double>(rep.campaignMergeNanos) / 1e6);
+}
+
 void printEventLogs(const Report& rep) {
   if (rep.jsonlFiles == 0) return;
   std::printf("\n== event logs (%llu files) ==\n",
@@ -301,9 +363,14 @@ void printEventLogs(const Report& rep) {
 
 /// Returns false on mismatch. Only meaningful when every manifest in the
 /// directory has a sibling event log (APF_OBS_EVENTS=1 campaigns).
-bool crossCheck(const Report& rep) {
+/// `verbose` prints the per-phase table (off in --json mode, where the
+/// verdict lands in the document instead).
+bool crossCheck(const Report& rep, bool verbose) {
   if (rep.jsonlFiles == 0 || rep.phaseActivations.empty()) return true;
-  std::printf("\n== cross-check: event log vs Metrics::phaseActivations ==\n");
+  if (verbose) {
+    std::printf(
+        "\n== cross-check: event log vs Metrics::phaseActivations ==\n");
+  }
   bool allOk = true;
   for (const auto& [tag, n] : rep.phaseActivations) {
     const auto it = rep.computeByPhase.find(tag);
@@ -311,11 +378,13 @@ bool crossCheck(const Report& rep) {
         it == rep.computeByPhase.end() ? 0 : it->second;
     const bool ok = fromEvents == n;
     allOk = allOk && ok;
-    std::printf("%-18s manifests=%llu events=%llu %s\n",
-                apf::core::phaseName(tag),
-                static_cast<unsigned long long>(n),
-                static_cast<unsigned long long>(fromEvents),
-                ok ? "OK" : "MISMATCH");
+    if (verbose) {
+      std::printf("%-18s manifests=%llu events=%llu %s\n",
+                  apf::core::phaseName(tag),
+                  static_cast<unsigned long long>(n),
+                  static_cast<unsigned long long>(fromEvents),
+                  ok ? "OK" : "MISMATCH");
+    }
   }
   // Fault accounting must agree too: every injected fault and every crash
   // appears exactly once in the event stream (obs/event.h contract).
@@ -323,33 +392,142 @@ bool crossCheck(const Report& rep) {
     const bool faultsOk = rep.eventLogFaults == rep.manifestFaultsInjected;
     const bool crashesOk = rep.eventLogCrashes == rep.manifestCrashed;
     allOk = allOk && faultsOk && crashesOk;
-    std::printf("%-18s manifests=%llu events=%llu %s\n", "faults_injected",
-                static_cast<unsigned long long>(rep.manifestFaultsInjected),
-                static_cast<unsigned long long>(rep.eventLogFaults),
-                faultsOk ? "OK" : "MISMATCH");
-    std::printf("%-18s manifests=%llu events=%llu %s\n", "robots_crashed",
-                static_cast<unsigned long long>(rep.manifestCrashed),
-                static_cast<unsigned long long>(rep.eventLogCrashes),
-                crashesOk ? "OK" : "MISMATCH");
+    if (verbose) {
+      std::printf("%-18s manifests=%llu events=%llu %s\n", "faults_injected",
+                  static_cast<unsigned long long>(rep.manifestFaultsInjected),
+                  static_cast<unsigned long long>(rep.eventLogFaults),
+                  faultsOk ? "OK" : "MISMATCH");
+      std::printf("%-18s manifests=%llu events=%llu %s\n", "robots_crashed",
+                  static_cast<unsigned long long>(rep.manifestCrashed),
+                  static_cast<unsigned long long>(rep.eventLogCrashes),
+                  crashesOk ? "OK" : "MISMATCH");
+    }
   }
   return allOk;
+}
+
+/// Machine-readable report: one JSON object on stdout mirroring every
+/// section of the human output (see docs/OBSERVABILITY.md for the schema).
+void printJson(const Report& rep, bool consistent) {
+  using apf::obs::JsonObjectWriter;
+  JsonObjectWriter top;
+  top.field("schema", "apf.report.v1");
+
+  std::string groups;
+  for (const auto& [key, g] : rep.groups) {
+    JsonObjectWriter w;
+    w.field("group", key);
+    w.field("runs", g.runs);
+    w.field("successes", g.successes);
+    w.field("terminated", g.terminated);
+    w.field("bits_mean", mean(g.bits));
+    w.field("bits_p95", percentile(g.bits, 0.95));
+    w.field("cycles_mean", mean(g.cycles));
+    w.field("events_mean", mean(g.events));
+    w.field("distance_mean", mean(g.distance));
+    w.field("bits_per_cycle_max", g.bitsPerCycleMax);
+    w.field("election_rounds", g.electionRounds);
+    if (!groups.empty()) groups += ",";
+    groups += w.str();
+  }
+  top.rawField("groups", "[" + groups + "]");
+  top.field("total_random_bits", rep.totalBits);
+  top.field("total_cycles", rep.totalCycles);
+
+  std::string phases;
+  for (const auto& [tag, n] : rep.phaseActivations) {
+    const auto nsIt = rep.phaseNanos.find(tag);
+    JsonObjectWriter w;
+    w.field("phase", apf::core::phaseName(tag));
+    w.field("activations", n);
+    w.field("wall_ns",
+            nsIt == rep.phaseNanos.end() ? std::uint64_t{0} : nsIt->second);
+    if (!phases.empty()) phases += ",";
+    phases += w.str();
+  }
+  top.rawField("phases", "[" + phases + "]");
+
+  {
+    JsonObjectWriter w;
+    w.field("fault_runs", rep.faultRuns);
+    w.field("faults_injected", rep.manifestFaultsInjected);
+    w.field("crashed", rep.manifestCrashed);
+    JsonObjectWriter outcomes;
+    for (const auto& [name, n] : rep.outcomes) outcomes.field(name, n);
+    w.rawField("outcomes", outcomes.str());
+    JsonObjectWriter byKind;
+    for (const auto& [kind, n] : rep.faultsByKind) byKind.field(kind, n);
+    w.rawField("by_kind", byKind.str());
+    top.rawField("faults", w.str());
+  }
+  {
+    JsonObjectWriter w;
+    w.field("files", rep.jsonlFiles);
+    w.field("bad_lines", rep.badLines);
+    w.field("bits", rep.eventLogBits);
+    w.field("election_rounds", rep.eventLogElections);
+    JsonObjectWriter byKind;
+    for (const auto& [kind, n] : rep.eventsByKind) byKind.field(kind, n);
+    w.rawField("events_by_kind", byKind.str());
+    top.rawField("event_logs", w.str());
+  }
+  if (rep.campaignManifests > 0) {
+    JsonObjectWriter w;
+    w.field("manifests", rep.campaignManifests);
+    w.field("jobs_max", rep.campaignJobsMax);
+    w.field("items", rep.campaignItems);
+    w.field("wall_nanos", rep.campaignWallNanos);
+    w.field("worker_busy_nanos", rep.campaignBusyNanos);
+    w.field("worker_idle_nanos", rep.campaignIdleNanos);
+    const double total =
+        static_cast<double>(rep.campaignBusyNanos + rep.campaignIdleNanos);
+    w.field("utilization",
+            total > 0.0
+                ? static_cast<double>(rep.campaignBusyNanos) / total
+                : 0.0);
+    w.field("mailbox_high_water", rep.campaignMailboxHwm);
+    w.field("pending_high_water", rep.campaignPendingHwm);
+    w.field("merge_stall_nanos", rep.campaignStallNanos);
+    w.field("merge_nanos", rep.campaignMergeNanos);
+    top.rawField("campaign", w.str());
+  }
+  top.field("consistent", consistent);
+  std::printf("%s\n", top.str().c_str());
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: apf_report [--json] DIR\n"
+               "  aggregates *.manifest.json and *.jsonl telemetry from\n"
+               "  DIR (see docs/OBSERVABILITY.md)\n"
+               "  --json  print one machine-readable JSON object instead\n"
+               "          of the human report\n");
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2 || std::strcmp(argv[1], "--help") == 0 ||
-      std::strcmp(argv[1], "-h") == 0) {
-    std::fprintf(stderr,
-                 "usage: apf_report DIR\n"
-                 "  aggregates *.manifest.json and *.jsonl telemetry from\n"
-                 "  DIR (see docs/OBSERVABILITY.md)\n");
-    return 2;
+  bool json = false;
+  const char* dirArg = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      return usage();
+    } else if (dirArg == nullptr) {
+      dirArg = argv[i];
+    } else {
+      std::fprintf(stderr, "apf_report: unexpected argument: %s\n", argv[i]);
+      return usage();
+    }
   }
-  const fs::path dir(argv[1]);
+  if (dirArg == nullptr) return usage();
+  const fs::path dir(dirArg);
   if (!fs::is_directory(dir)) {
-    std::fprintf(stderr, "apf_report: not a directory: %s\n", argv[1]);
-    return 2;
+    std::fprintf(stderr, "apf_report: not a directory: %s\n", dirArg);
+    return usage();
   }
 
   Report rep;
@@ -378,16 +556,23 @@ int main(int argc, char** argv) {
   }
   for (const auto& p : logs) ingestJsonl(p, rep);
 
-  if (rep.groups.empty() && rep.jsonlFiles == 0) {
-    std::fprintf(stderr, "apf_report: no telemetry found in %s\n", argv[1]);
-    return 1;
+  if (rep.groups.empty() && rep.jsonlFiles == 0 &&
+      rep.campaignManifests == 0) {
+    std::fprintf(stderr, "apf_report: no telemetry found in %s\n", dirArg);
+    return usage();
   }
 
+  if (json) {
+    const bool consistent = crossCheck(rep, /*verbose=*/false);
+    printJson(rep, consistent);
+    return consistent ? 0 : 1;
+  }
   printGroups(rep);
   printBits(rep);
   printPhases(rep);
+  printCampaign(rep);
   printFaults(rep);
   printEventLogs(rep);
-  const bool consistent = crossCheck(rep);
+  const bool consistent = crossCheck(rep, /*verbose=*/true);
   return consistent ? 0 : 1;
 }

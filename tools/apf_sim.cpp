@@ -1,7 +1,8 @@
 /// \file apf_sim.cpp
 /// Command-line simulator: run any of the library's algorithms on a chosen
 /// start/pattern under a chosen adversary, print the run summary, and
-/// optionally dump a trajectory SVG and a trace CSV.
+/// optionally dump a trajectory SVG and a trace (position CSV, or Chrome
+/// trace-event spans when the --trace file ends in .json).
 ///
 /// Usage examples:
 ///   apf_sim --n 10 --pattern star --sched async --seed 7
@@ -31,6 +32,7 @@
 #include "io/svg.h"
 #include "obs/manifest.h"
 #include "obs/recorder.h"
+#include "obs/span.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
 
@@ -90,7 +92,9 @@ void usage() {
       "  --multiplicity     enable multiplicity detection\n"
       "  --chirality        give all robots a common chirality\n"
       "  --svg FILE         write trajectory SVG\n"
-      "  --trace FILE       write trace CSV\n"
+      "  --trace FILE       write a position trace CSV; a FILE ending in\n"
+      "                     .json instead captures look/compute/move spans\n"
+      "                     as Chrome trace-event JSON (chrome://tracing)\n"
       "  --jsonl FILE       write structured event log (JSONL; see\n"
       "                     docs/OBSERVABILITY.md and apf_report)\n"
       "  --manifest FILE    write run manifest (reproducibility record)\n"
@@ -347,11 +351,28 @@ int main(int argc, char** argv) try {
   opts.collectTimings =
       !o.jsonlPath.empty() || !o.manifestPath.empty() || o.json;
 
+  // --trace dispatches on extension: .json = Chrome trace-event spans,
+  // anything else = the legacy position CSV.
+  const bool chromeTrace =
+      o.tracePath.size() >= 5 &&
+      o.tracePath.compare(o.tracePath.size() - 5, 5, ".json") == 0;
+
   sim::Engine engine(start, pattern, *algo, opts);
   sim::Trace trace;
-  if (!o.svgPath.empty() || !o.tracePath.empty()) trace.attach(engine);
+  if (!o.svgPath.empty() || (!o.tracePath.empty() && !chromeTrace)) {
+    trace.attach(engine);
+  }
 
+  std::unique_ptr<obs::SpanCollector> spans;
+  if (chromeTrace) {
+    spans = std::make_unique<obs::SpanCollector>();
+    spans->install();
+  }
   const sim::RunResult res = engine.run();
+  if (spans != nullptr) {
+    obs::SpanCollector::uninstall();
+    spans->writeChromeTrace(o.tracePath);
+  }
 
   const std::string patternLabel =
       !o.patternFile.empty() ? o.patternFile : o.pattern;
@@ -386,7 +407,7 @@ int main(int argc, char** argv) try {
     }
   }
 
-  if (!o.tracePath.empty()) trace.writeCsv(o.tracePath);
+  if (!o.tracePath.empty() && !chromeTrace) trace.writeCsv(o.tracePath);
   if (!o.svgPath.empty()) {
     io::SvgScene scene;
     for (auto& t : trace.trails()) scene.addTrail(std::move(t));
