@@ -41,6 +41,15 @@ int main() {
   const double sigmas[] = {0.0, 0.02, 0.1};
   const double omits[] = {0.0, 0.1};
 
+  // Every cell runs under the campaign supervisor (sim/supervisor.h): a
+  // livelocked run trips the cycle watchdog and lands in quarantine
+  // instead of wedging the table. The budget sits above every cell's
+  // maxEvents, so a run that respects its own cap never times out and the
+  // CSV stays bit-identical to the unsupervised bench.
+  sim::SupervisorOptions supOpts;
+  supOpts.cycleBudget = 3'000'000;
+  sim::SupervisorReport supTotal;
+
   // Per-cell seeds fan out across the campaign pool (sim/campaign.h); each
   // worker builds its own start/pattern/fault plan, and the in-order merge
   // keeps every CSV row identical for any APF_JOBS.
@@ -56,7 +65,10 @@ int main() {
           sim::RunResult res;
           bool approx = false;
         };
-        const auto results = sim::campaignMap(seeds, [&](int s, std::size_t) {
+        std::vector<CellRun> results(seeds.size());
+        const sim::SupervisorReport cellReport = sim::superviseCampaign(
+            seeds,
+            [&](int s, std::size_t, const sim::Attempt& att) {
           // Reference configurations: identical to bench_scheduler's
           // ASYNC earlyStop=0.5 row so the clean cell cross-checks it.
           config::Rng rng(810 + s);
@@ -83,12 +95,27 @@ int main() {
           }
           spec.label = "faults";
           spec.obsIndex = obsBase + s;
+          // Attempt::seedSalt is deliberately NOT folded into spec.seed:
+          // bench rows are reference numbers, so a (never expected) retry
+          // re-measures the same run instead of a reseeded variant.
+          spec.watchdog = att.watchdog;
           CellRun out;
           out.res = runOnce(start, pattern, algo, spec);
           out.approx = config::similar(out.res.finalPositions, pattern,
                                        geom::Tol{2e-2, 2e-2});
           return out;
-        });
+        },
+            [&](std::size_t i, CellRun&& run) { results[i] = std::move(run); },
+            supOpts);
+        supTotal.absorb(cellReport);
+        if (!cellReport.allCompleted()) {
+          std::fprintf(stderr,
+                       "bench_faults: %llu run(s) quarantined in cell f=%d "
+                       "sigma=%.2f omit=%.2f (their rows count as defaults)\n",
+                       static_cast<unsigned long long>(
+                           cellReport.quarantined),
+                       f, sigma, omit);
+        }
         obsBase += kSeeds;
         int byOutcome[4] = {0, 0, 0, 0};
         int approx = 0;
@@ -112,6 +139,7 @@ int main() {
       }
     }
   }
+  sim::appendManifest(supOpts, supTotal, table.meta());
   table.print();
   return 0;
 }

@@ -33,6 +33,7 @@
 #include "obs/span.h"
 #include "sim/campaign.h"
 #include "sim/engine.h"
+#include "sim/supervisor.h"
 
 namespace apf::bench {
 
@@ -54,6 +55,10 @@ struct RunSpec {
   /// are numbered with it instead of the process-wide counter, so names
   /// stay deterministic when runs execute on a campaign thread pool.
   long obsIndex = -1;
+  /// Supervisor deadline for this run (not owned; sim/supervisor.h).
+  /// Benches running under superviseCampaign pass Attempt::watchdog here so
+  /// a livelocked cell times out instead of wedging the whole table.
+  sim::Watchdog* watchdog = nullptr;
 };
 
 /// Directory every bench CSV (and its manifest) is written under:
@@ -162,6 +167,7 @@ inline sim::RunResult runOnce(const config::Configuration& start,
   opts.sched.earlyStopProb = spec.earlyStopProb;
   opts.sched.activationProb = spec.activationProb;
   opts.fault = spec.fault;
+  opts.watchdog = spec.watchdog;
 
   const char* dir = obsDir();
   std::unique_ptr<obs::JsonlRecorder> sink;

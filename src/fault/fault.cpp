@@ -4,7 +4,9 @@
 #include <cmath>
 #include <random>
 #include <sstream>
+#include <stdexcept>
 
+#include "obs/json.h"
 #include "obs/manifest.h"
 
 namespace apf::fault {
@@ -84,6 +86,64 @@ void appendManifest(const FaultPlan& plan, obs::Manifest& m) {
   m.set("fault.drop_prob", plan.dropProb);
   m.set("fault.trunc_prob", plan.truncProb);
   m.set("fault.seed", plan.seed);
+}
+
+std::string toJson(const FaultPlan& plan) {
+  std::string crashes = "[";
+  for (std::size_t k = 0; k < plan.crashes.size(); ++k) {
+    if (k) crashes += ',';
+    obs::JsonObjectWriter c;
+    c.field("robot", static_cast<std::uint64_t>(plan.crashes[k].robot));
+    c.field("at_event", plan.crashes[k].atEvent);
+    crashes += c.str();
+  }
+  crashes += ']';
+  obs::JsonObjectWriter w;
+  w.rawField("crashes", crashes);
+  w.field("noise_sigma", plan.noiseSigma);
+  w.field("omit_prob", plan.omitProb);
+  w.field("mult_flip_prob", plan.multFlipProb);
+  w.field("drop_prob", plan.dropProb);
+  w.field("trunc_prob", plan.truncProb);
+  w.field("seed", plan.seed);
+  return w.str();
+}
+
+FaultPlan planFromJson(const obs::JsonNode& node) {
+  if (node.kind != obs::JsonNode::Kind::Object) {
+    throw std::runtime_error("FaultPlan: JSON value is not an object");
+  }
+  FaultPlan plan;
+  if (const obs::JsonNode* crashes = node.find("crashes")) {
+    if (crashes->kind != obs::JsonNode::Kind::Array) {
+      throw std::runtime_error("FaultPlan: \"crashes\" is not an array");
+    }
+    for (const obs::JsonNode& entry : crashes->items) {
+      const obs::JsonNode* robot = entry.find("robot");
+      const obs::JsonNode* atEvent = entry.find("at_event");
+      if (entry.kind != obs::JsonNode::Kind::Object || robot == nullptr ||
+          atEvent == nullptr) {
+        throw std::runtime_error(
+            "FaultPlan: crash entry needs {\"robot\", \"at_event\"}");
+      }
+      CrashFault c;
+      c.robot = static_cast<std::size_t>(robot->asU64());
+      c.atEvent = atEvent->asU64();
+      plan.crashes.push_back(c);
+    }
+  }
+  if (const obs::JsonNode* v = node.find("noise_sigma"))
+    plan.noiseSigma = v->asNumber();
+  if (const obs::JsonNode* v = node.find("omit_prob"))
+    plan.omitProb = v->asNumber();
+  if (const obs::JsonNode* v = node.find("mult_flip_prob"))
+    plan.multFlipProb = v->asNumber();
+  if (const obs::JsonNode* v = node.find("drop_prob"))
+    plan.dropProb = v->asNumber();
+  if (const obs::JsonNode* v = node.find("trunc_prob"))
+    plan.truncProb = v->asNumber();
+  if (const obs::JsonNode* v = node.find("seed")) plan.seed = v->asU64();
+  return plan;
 }
 
 std::uint64_t faultStreamSeed(std::uint64_t engineSeed,

@@ -35,6 +35,7 @@
 
 namespace apf::obs {
 class Manifest;
+struct JsonNode;
 }
 
 namespace apf::fault {
@@ -99,6 +100,18 @@ FaultPlan planWithRandomCrashes(std::size_t n, int f, std::uint64_t seed,
 /// clean runs record zeros so fault and fault-free manifests stay
 /// comparable in apf_report).
 void appendManifest(const FaultPlan& plan, obs::Manifest& manifest);
+
+/// Nested-JSON serialization of a plan — the "fault" object of a
+/// `.repro.json` (sim/shrink.h) and of campaign journals. Every field
+/// round-trips exactly: doubles are written in shortest form that parses
+/// back bit-identical (obs::jsonNumber), so
+/// `planFromJson(parseJson(toJson(p)))` reproduces `p` field for field.
+std::string toJson(const FaultPlan& plan);
+
+/// Inverse of toJson. Missing keys keep their defaults and unknown keys
+/// are ignored (forward compatibility); throws std::runtime_error when
+/// `node` is not an object or a crash entry is malformed.
+FaultPlan planFromJson(const obs::JsonNode& node);
 
 /// Mixes the engine seed and plan seed into the fault-stream seed with a
 /// splitmix64 finalizer, so the fault stream never aliases the adversary

@@ -3,12 +3,15 @@
 #include <iomanip>
 #include <stdexcept>
 
+#include "obs/recorder.h"
+
 namespace apf::io {
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
     : path_(path) {
   if (!path.empty()) {
+    obs::createParentDirs(path);
     file_.open(path);
     if (!file_) {
       throw std::runtime_error("CsvWriter: cannot open for write: " + path);

@@ -32,6 +32,14 @@ enum class EventKind : std::uint8_t {
   FaultInjected,    ///< a sensor/compute fault fired (see Event::faultKind)
   RobotCrashed,     ///< a crash-stop fault permanently halted a robot
   RunEnd,           ///< engine finished (robot = -1)
+  // Campaign-supervisor events (sim/supervisor.h). They concern campaign
+  // ITEMS, not robots: `robot` carries the item index, and they are emitted
+  // on the merge thread, in merge order, so a supervised campaign's event
+  // log is deterministic.
+  RunTimeout,      ///< a supervised attempt hit its watchdog deadline
+  RunRetried,      ///< a failed item is being retried (possibly reseeded)
+  RunQuarantined,  ///< an item exhausted its retry budget
+  Checkpoint,      ///< an item's result was journaled (fsync'd)
 };
 
 /// Stable wire name (used as the "ev" field of JSONL lines).
@@ -59,10 +67,12 @@ struct Event {
   std::uint64_t index = 0;
   /// Nanoseconds since RunStart (steady clock).
   std::uint64_t wallNanos = 0;
-  /// Robot the event concerns; -1 for run-level events.
+  /// Robot the event concerns; -1 for run-level events. Supervisor events
+  /// repurpose it as the campaign item index.
   std::int64_t robot = -1;
   /// Phase tag (core/phases.h) of the activation; Compute, CycleComplete,
-  /// PhaseTransition, ElectionRound.
+  /// PhaseTransition, ElectionRound. Supervisor events repurpose it as the
+  /// attempt number.
   int phaseTag = 0;
   /// PhaseTransition only: the tag being left.
   int phaseFrom = 0;
@@ -83,7 +93,9 @@ struct Event {
   /// SensorOmission, truncation fraction for ComputeTruncate, sigma for
   /// SensorNoise).
   double distance = 0.0;
-  /// MoveStep: path completed; RunEnd: run succeeded.
+  /// MoveStep: path completed; RunEnd: run succeeded. Supervisor events:
+  /// RunTimeout — deadline was wall-clock (vs cycle budget); RunQuarantined
+  /// — failure proved deterministic by a same-seed retry.
   bool flag = false;
   /// FaultInjected / RobotCrashed: which injector fired.
   FaultKind faultKind = FaultKind::None;

@@ -1,5 +1,6 @@
 #include "obs/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -212,6 +213,7 @@ bool parseValue(std::string_view s, std::size_t& i, JsonValue& out) {
     if (end != tok.c_str() + tok.size()) return false;
     out.kind = JsonValue::Kind::Number;
     out.number = v;
+    out.string = tok;  // raw token, so 64-bit integers survive exactly
     i = j;
     return true;
   }
@@ -297,6 +299,7 @@ bool parseNode(std::string_view s, std::size_t& i, JsonNode& out, int depth) {
     case JsonValue::Kind::Number:
       out.kind = JsonNode::Kind::Number;
       out.number = scalar.number;
+      out.string = std::move(scalar.string);  // raw token
       break;
     case JsonValue::Kind::String:
       out.kind = JsonNode::Kind::String;
@@ -313,6 +316,15 @@ const JsonNode* JsonNode::find(std::string_view key) const {
     if (k == key) return &v;
   }
   return nullptr;
+}
+
+std::uint64_t JsonNode::asU64(std::uint64_t fallback) const {
+  if (kind != Kind::Number || string.empty()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(string.c_str(), &end, 10);
+  if (errno != 0 || end != string.c_str() + string.size()) return fallback;
+  return static_cast<std::uint64_t>(v);
 }
 
 std::optional<JsonNode> parseJson(std::string_view text) {

@@ -83,6 +83,9 @@ struct JsonNode {
   Kind kind = Kind::Null;
   bool boolean = false;
   double number = 0.0;
+  /// String value — or, for Number nodes produced by parseJson, the raw
+  /// source token (so 64-bit integers can be recovered without the 2^53
+  /// double rounding; see asU64).
   std::string string;
   std::vector<JsonNode> items;  ///< Array elements, in order.
   /// Object members, in document order (duplicate keys are kept).
@@ -99,6 +102,10 @@ struct JsonNode {
   bool asBool(bool fallback = false) const {
     return kind == Kind::Bool ? boolean : fallback;
   }
+  /// Exact unsigned 64-bit read of a Number node (via the raw token);
+  /// `fallback` for non-numbers and tokens that are not plain unsigned
+  /// integers.
+  std::uint64_t asU64(std::uint64_t fallback = 0) const;
 };
 
 /// Parses an arbitrary JSON document (object/array/scalar root, any

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/recorder.h"
+
 namespace apf::obs {
 
 void Manifest::put(const std::string& key, std::string encoded) {
@@ -65,6 +67,7 @@ std::string Manifest::toJson() const {
 }
 
 void Manifest::write(const std::string& path) const {
+  createParentDirs(path);
   std::ofstream os(path);
   if (!os) throw std::runtime_error("Manifest: cannot open for write: " + path);
   os << toJson() << '\n';

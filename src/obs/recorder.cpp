@@ -1,10 +1,21 @@
 #include "obs/recorder.h"
 
+#include <filesystem>
 #include <stdexcept>
 
 #include "obs/json.h"
 
 namespace apf::obs {
+
+void createParentDirs(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;
+  // Best effort: a race or permission problem surfaces as the open failure
+  // the caller already reports, with the real path in the message.
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+}
 
 const char* eventKindName(EventKind kind) {
   switch (kind) {
@@ -28,6 +39,14 @@ const char* eventKindName(EventKind kind) {
       return "robot_crashed";
     case EventKind::RunEnd:
       return "run_end";
+    case EventKind::RunTimeout:
+      return "run_timeout";
+    case EventKind::RunRetried:
+      return "run_retried";
+    case EventKind::RunQuarantined:
+      return "run_quarantined";
+    case EventKind::Checkpoint:
+      return "checkpoint";
   }
   return "?";
 }
@@ -53,13 +72,23 @@ const char* faultKindName(FaultKind kind) {
 }
 
 std::string toJsonLine(const Event& e) {
+  const bool supervisor = e.kind == EventKind::RunTimeout ||
+                          e.kind == EventKind::RunRetried ||
+                          e.kind == EventKind::RunQuarantined ||
+                          e.kind == EventKind::Checkpoint;
   JsonObjectWriter w;
   w.field("ev", eventKindName(e.kind));
   w.field("i", e.index);
-  w.field("t_ns", e.wallNanos);
-  w.field("sched_ev", e.schedEvent);
-  w.field("cfg", e.configVersion);
-  if (e.robot >= 0) w.field("robot", e.robot);
+  if (supervisor) {
+    // Campaign-item scope: the engine-run fields (t_ns/sched_ev/cfg) carry
+    // no information here and would make supervised logs nondeterministic.
+    w.field("item", e.robot);
+  } else {
+    w.field("t_ns", e.wallNanos);
+    w.field("sched_ev", e.schedEvent);
+    w.field("cfg", e.configVersion);
+    if (e.robot >= 0) w.field("robot", e.robot);
+  }
   switch (e.kind) {
     case EventKind::Compute:
       w.field("phase", e.phaseTag);
@@ -94,6 +123,22 @@ std::string toJsonLine(const Event& e) {
       w.field("dist", e.distance);
       w.field("success", e.flag);
       break;
+    case EventKind::RunTimeout:
+      w.field("attempt", e.phaseTag);
+      w.field("at_cycles", e.bitsUsed);
+      w.field("wall", e.flag);
+      break;
+    case EventKind::RunRetried:
+      w.field("attempt", e.phaseTag);
+      w.field("salt", e.bitsUsed);
+      break;
+    case EventKind::RunQuarantined:
+      w.field("attempts", e.phaseTag);
+      w.field("deterministic", e.flag);
+      break;
+    case EventKind::Checkpoint:
+      w.field("bytes", e.bitsUsed);
+      break;
     case EventKind::RunStart:
     case EventKind::Look:
       break;
@@ -102,6 +147,7 @@ std::string toJsonLine(const Event& e) {
 }
 
 JsonlRecorder::JsonlRecorder(const std::string& path) : path_(path) {
+  createParentDirs(path);
   file_.open(path);
   if (!file_) {
     throw std::runtime_error("JsonlRecorder: cannot open for write: " + path);

@@ -23,6 +23,11 @@
 
 namespace apf::obs {
 
+/// Creates the parent directory of `path` (and any missing ancestors) so
+/// file sinks can write under results/ trees that do not exist yet. Best
+/// effort: failures are left for the subsequent open() to report.
+void createParentDirs(const std::string& path);
+
 class Recorder {
  public:
   virtual ~Recorder() = default;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/json.h"
+#include "obs/recorder.h"
 
 namespace apf::obs {
 
@@ -174,6 +175,7 @@ void SpanCollector::writeChromeTrace(std::ostream& os) const {
 }
 
 void SpanCollector::writeChromeTrace(const std::string& path) const {
+  createParentDirs(path);
   std::ofstream os(path);
   if (!os) {
     throw std::runtime_error("SpanCollector: cannot open for write: " + path);

@@ -1,5 +1,6 @@
 #include "sim/campaign.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace apf::sim {
@@ -12,6 +13,13 @@ int campaignJobs(int requested) {
     if (end != v && *end == '\0' && parsed >= 1) {
       return parsed > 512 ? 512 : static_cast<int>(parsed);
     }
+    // Garbage ("abc", "4x", "0", "-2") used to fall through silently, and a
+    // typo'd APF_JOBS=l6 quietly ran a different experiment. Warn once per
+    // resolution; the fallback itself is unchanged.
+    std::fprintf(stderr,
+                 "apf: ignoring unparsable APF_JOBS=\"%s\" "
+                 "(want an integer >= 1); using hardware concurrency\n",
+                 v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

@@ -115,6 +115,10 @@ void runCampaign(const std::vector<Item>& items, Worker&& worker,
   if (resolved <= 1 || n <= 1) {
     // Serial path: exactly the historical loop, no threads, no mailbox.
     // Stats reduce to busy (worker) + merge time on the calling thread.
+    // A worker throw still finalizes jobs/wall before propagating — same
+    // stats-before-rethrow contract as the pool path, so a crashed
+    // campaign's telemetry survives into the error report.
+    try {
     for (std::size_t i = 0; i < n; ++i) {
       std::uint64_t t0 = timed ? obs::nowNanos() : 0;
       Result r = [&] {
@@ -134,6 +138,13 @@ void runCampaign(const std::vector<Item>& items, Worker&& worker,
       }
       if (timed) stats->mergeNanos += obs::nowNanos() - t0;
       if (stats) stats->items += 1;
+    }
+    } catch (...) {
+      if (stats) {
+        stats->jobs = 1;
+        stats->wallNanos = obs::nowNanos() - wall0;
+      }
+      throw;
     }
     if (stats) {
       stats->jobs = 1;

@@ -9,6 +9,7 @@
 #include "obs/recorder.h"
 #include "obs/span.h"
 #include "obs/stats.h"
+#include "sim/supervisor.h"
 
 namespace apf::sim {
 
@@ -639,6 +640,7 @@ RunResult Engine::run() {
   const bool pollSuccess = faultsOn_ && opts_.fault.sensorActive();
   std::uint64_t lastPoll = 0;
   while (metrics_.events < opts_.maxEvents) {
+    if (opts_.watchdog != nullptr) opts_.watchdog->poll(metrics_.events);
     if (!step()) {
       res.terminated = true;
       break;

@@ -46,6 +46,8 @@ class Recorder;
 
 namespace apf::sim {
 
+class Watchdog;  // sim/supervisor.h
+
 struct EngineOptions {
   sched::SchedulerOptions sched;
   std::uint64_t seed = 1;
@@ -75,6 +77,12 @@ struct EngineOptions {
   /// build; the engine constructor throws std::invalid_argument on an
   /// invalid plan (fault::validate).
   fault::FaultPlan fault;
+  /// Supervisor deadline (not owned; sim/supervisor.h). Polled once per
+  /// scheduler event with Metrics::events, so cycle budgets trip
+  /// deterministically at LCM-step granularity; WatchdogExpired propagates
+  /// out of run(). nullptr (default) costs one branch per event and leaves
+  /// the run bit-identical to an unsupervised one.
+  Watchdog* watchdog = nullptr;
 };
 
 /// Drives one execution of an algorithm from a start configuration toward a

@@ -42,6 +42,8 @@ struct RunRecord {
   bool success = false;
   Outcome outcome = Outcome::Stalled;
   std::string violation;  // first violation of this run (empty when clean)
+  std::string violationKind;  // "collision" / "sec_growth"
+  fault::FaultPlan plan;
   std::uint64_t seed = 0;
   double earlyStopProb = 0.0;
 };
@@ -82,6 +84,7 @@ FuzzResult fuzzSchedules(const Algorithm& algo,
     eopts.fault = planForRun(opts, start.size(), eopts.seed);
     rec.seed = eopts.seed;
     rec.earlyStopProb = eopts.sched.earlyStopProb;
+    rec.plan = eopts.fault;
     Engine eng(start, pattern, algo, eopts);
 
     // Incremental safety-check state. The observer only fires on position
@@ -143,6 +146,7 @@ FuzzResult fuzzSchedules(const Algorithm& algo,
           runCollided = true;
           rec.collisionOk = false;
           if (violation.empty()) {
+            rec.violationKind = "collision";
             std::ostringstream os;
             os << "collision: run " << run << ", event " << e.metrics().events
                << ", robot " << robot;
@@ -165,6 +169,7 @@ FuzzResult fuzzSchedules(const Algorithm& algo,
       if (growth > FuzzResult::kSecGrowthBound) {
         rec.secOk = false;
         if (violation.empty()) {
+          rec.violationKind = "sec_growth";
           std::ostringstream os;
           os << "SEC grew x" << growth << ": run " << run << ", event "
              << e.metrics().events;
@@ -182,7 +187,7 @@ FuzzResult fuzzSchedules(const Algorithm& algo,
 
   runCampaign(
       runs, worker,
-      [&](std::size_t, RunRecord&& rec) {
+      [&](std::size_t i, RunRecord&& rec) {
         ++out.runs;
         out.terminated += rec.terminated;
         out.successes += rec.success;
@@ -192,8 +197,14 @@ FuzzResult fuzzSchedules(const Algorithm& algo,
         out.maxSecGrowthFactor =
             std::max(out.maxSecGrowthFactor, rec.maxGrowth);
         if (!rec.violation.empty()) {
-          out.failures.push_back(
-              {rec.seed, rec.earlyStopProb, rec.violation});
+          FuzzFailure failure;
+          failure.seed = rec.seed;
+          failure.earlyStopProb = rec.earlyStopProb;
+          failure.violation = rec.violation;
+          failure.violationKind = rec.violationKind;
+          failure.plan = std::move(rec.plan);
+          failure.run = static_cast<int>(i);
+          out.failures.push_back(std::move(failure));
           if (out.firstViolation.empty()) out.firstViolation = rec.violation;
         }
         seen.merge(rec.seen);

@@ -66,12 +66,20 @@ struct FuzzOptions {
 };
 
 /// One run that violated a safety invariant: everything needed to replay
-/// it (plug seed/earlyStopProb into EngineOptions with the same start,
-/// pattern, and FuzzOptions-derived FaultPlan).
+/// it exactly. `seed`/`earlyStopProb`/`plan` plug straight into
+/// EngineOptions with the same start and pattern; sim/shrink.h turns a
+/// failure into a minimized, self-contained `.repro.json`.
 struct FuzzFailure {
   std::uint64_t seed = 0;
   double earlyStopProb = 0.0;
   std::string violation;
+  /// Which invariant broke: "collision" or "sec_growth".
+  std::string violationKind;
+  /// The exact per-run fault plan (crash victims/timings are re-drawn per
+  /// run, so the campaign-level FuzzOptions are not enough to replay).
+  fault::FaultPlan plan;
+  /// Campaign run index the failure came from.
+  int run = 0;
 };
 
 struct FuzzResult {

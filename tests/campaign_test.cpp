@@ -109,6 +109,32 @@ TEST(CampaignTest, WorkerExceptionPropagates) {
   }
 }
 
+/// When a worker throws, the campaign cancels, rethrows — and still fills
+/// the caller's CampaignStats first, so a crashed campaign's telemetry
+/// (jobs, wall time, how far it got) survives into the error report.
+TEST(CampaignTest, WorkerExceptionStillFillsStats) {
+  std::vector<int> items(50);
+  for (int i = 0; i < 50; ++i) items[i] = i;
+  for (int jobs : {1, 4}) {
+    CampaignStats stats;
+    auto run = [&] {
+      campaignMap(
+          items,
+          [](int item, std::size_t) {
+            if (item == 37) throw std::runtime_error("boom");
+            return item;
+          },
+          jobs, &stats);
+    };
+    EXPECT_THROW(run(), std::runtime_error) << "jobs=" << jobs;
+    EXPECT_EQ(stats.jobs, jobs);
+    // The campaign cancels at item 37: everything merged before the throw
+    // is counted, nothing after it ever runs.
+    EXPECT_LE(stats.items, 37u);
+    EXPECT_GT(stats.wallNanos, 0u);
+  }
+}
+
 TEST(CampaignTest, JobsResolution) {
   {
     ScopedJobsEnv env(nullptr);
@@ -127,6 +153,37 @@ TEST(CampaignTest, JobsResolution) {
   {
     ScopedJobsEnv env("nonsense");
     EXPECT_GE(campaignJobs(0), 1);  // unparsable -> hardware fallback
+  }
+}
+
+/// Garbage in APF_JOBS must not be swallowed silently (a typo'd `l6` used
+/// to quietly run a different experiment): the resolver warns on stderr and
+/// then falls back to hardware concurrency. Valid values stay quiet.
+TEST(CampaignTest, JobsResolutionWarnsOnGarbageEnv) {
+  const std::vector<const char*> garbage = {"nonsense", "4x", "0", "-2"};
+  for (const char* value : garbage) {
+    ScopedJobsEnv env(value);
+    testing::internal::CaptureStderr();
+    EXPECT_GE(campaignJobs(0), 1);
+    const std::string err = testing::internal::GetCapturedStderr();
+    const std::string expected =
+        std::string("apf: ignoring unparsable APF_JOBS=\"") + value +
+        "\" (want an integer >= 1); using hardware concurrency\n";
+    EXPECT_EQ(err, expected) << "APF_JOBS=" << value;
+  }
+  for (const char* value : {"5", "512"}) {
+    ScopedJobsEnv env(value);
+    testing::internal::CaptureStderr();
+    EXPECT_GE(campaignJobs(0), 1);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "") << value;
+  }
+  {
+    // An explicit request short-circuits the env var entirely: no warning
+    // even when the env holds garbage.
+    ScopedJobsEnv env("nonsense");
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(campaignJobs(3), 3);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
   }
 }
 

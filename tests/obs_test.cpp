@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -258,7 +259,19 @@ TEST(ObsManifestTest, FileRoundTripAndLoudFailure) {
   const obs::JsonObject back = obs::loadFlatJsonFile(path);
   EXPECT_EQ(back.at("answer").asNumber(), 42.0);
   std::remove(path.c_str());
-  EXPECT_THROW(m.write("/nonexistent-dir/x.json"), std::runtime_error);
+  // Missing parent directories are created rather than erroring loudly
+  // (results/ trees need not pre-exist).
+  const std::string nested =
+      "/tmp/apf_obs_manifest_nested/sub/dir/x.json";
+  m.write(nested);
+  EXPECT_EQ(obs::loadFlatJsonFile(nested).at("answer").asNumber(), 42.0);
+  std::filesystem::remove_all("/tmp/apf_obs_manifest_nested");
+  // A genuinely unwritable path (a parent component is a regular FILE,
+  // so no directory can be created there) still throws.
+  { std::ofstream block("/tmp/apf_obs_manifest_block"); }
+  EXPECT_THROW(m.write("/tmp/apf_obs_manifest_block/x.json"),
+               std::runtime_error);
+  std::remove("/tmp/apf_obs_manifest_block");
   EXPECT_THROW(obs::loadFlatJsonFile("/nonexistent/nope.json"),
                std::runtime_error);
 }
@@ -384,9 +397,22 @@ TEST(ObsEngineTest, JsonlSinkRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(ObsEngineTest, JsonlSinkThrowsOnUnwritablePath) {
-  EXPECT_THROW(obs::JsonlRecorder("/nonexistent-dir/log.jsonl"),
+TEST(ObsEngineTest, JsonlSinkCreatesParentDirsAndThrowsWhenUnwritable) {
+  // Missing parent directories are created on demand.
+  const std::string nested = "/tmp/apf_obs_jsonl_nested/sub/log.jsonl";
+  {
+    obs::JsonlRecorder rec(nested);
+    obs::Event e{};
+    e.kind = obs::EventKind::RunStart;
+    rec.record(e);
+  }
+  EXPECT_TRUE(std::filesystem::exists(nested));
+  std::filesystem::remove_all("/tmp/apf_obs_jsonl_nested");
+  // A parent component that is a regular file still fails loudly.
+  { std::ofstream block("/tmp/apf_obs_jsonl_block"); }
+  EXPECT_THROW(obs::JsonlRecorder("/tmp/apf_obs_jsonl_block/log.jsonl"),
                std::runtime_error);
+  std::remove("/tmp/apf_obs_jsonl_block");
 }
 
 TEST(ObsEngineTest, JsonlRecorderDestructorFlushesToDisk) {

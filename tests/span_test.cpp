@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
@@ -204,10 +206,18 @@ TEST(SpanTest, ChromeTraceIsStructurallyValidTraceEventJson) {
   EXPECT_DOUBLE_EQ(other->find("dropped_spans")->asNumber(), 0.0);
 }
 
-TEST(SpanTest, ChromeTraceFileWriteFailureThrows) {
+TEST(SpanTest, ChromeTraceCreatesParentDirsAndThrowsWhenUnwritable) {
   obs::SpanCollector collector;
-  EXPECT_THROW(collector.writeChromeTrace("/nonexistent-dir/x.trace.json"),
+  // Missing parent directories are created on demand.
+  const std::string nested = "/tmp/apf_span_nested/sub/x.trace.json";
+  collector.writeChromeTrace(nested);
+  EXPECT_TRUE(std::filesystem::exists(nested));
+  std::filesystem::remove_all("/tmp/apf_span_nested");
+  // A parent component that is a regular file still fails loudly.
+  { std::ofstream block("/tmp/apf_span_block"); }
+  EXPECT_THROW(collector.writeChromeTrace("/tmp/apf_span_block/x.json"),
                std::runtime_error);
+  std::remove("/tmp/apf_span_block");
 }
 
 TEST(SpanTest, EmptyCollectorWritesValidTrace) {

@@ -8,6 +8,9 @@
 ///    docs/FAULTS.md),
 ///  * campaign-pool statistics (`campaign.*` manifest keys: worker
 ///    utilization, mailbox/pending high-water marks, merge stall),
+///  * supervisor resilience accounting (`supervisor.*` manifest keys:
+///    retries, quarantine, timeout kinds; docs/RESILIENCE.md) plus a
+///    listing of minimized counterexamples (`*.repro.json`; sim/shrink.h),
 ///  * event-log statistics (event counts by kind, snapshot staleness),
 ///  * a cross-check that event-log per-phase totals match the manifests'
 ///    `Metrics::phaseActivations` numbers, and that fault/crash event
@@ -26,6 +29,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <numeric>
 #include <string>
@@ -121,6 +125,26 @@ struct Report {
   std::uint64_t campaignPendingHwm = 0;   // max over manifests
   std::uint64_t campaignStallNanos = 0;
   std::uint64_t campaignMergeNanos = 0;
+  // Supervisor telemetry (`supervisor.*` manifest keys; sim/supervisor.h
+  // and docs/RESILIENCE.md).
+  int supervisorManifests = 0;
+  std::uint64_t supItems = 0;
+  std::uint64_t supCompleted = 0;
+  std::uint64_t supReplayed = 0;
+  std::uint64_t supRetries = 0;
+  std::uint64_t supQuarantined = 0;
+  std::uint64_t supTimeoutsCycle = 0;
+  std::uint64_t supTimeoutsWall = 0;
+  std::uint64_t supExceptions = 0;
+  // Minimized counterexamples (`*.repro.json`; sim/shrink.h).
+  struct ReproInfo {
+    std::string file;
+    std::string algo;
+    std::string kind;
+    std::size_t robots = 0;
+    std::size_t crashes = 0;
+  };
+  std::vector<ReproInfo> repros;
 };
 
 void ingestManifest(const fs::path& path, Report& rep) {
@@ -148,6 +172,26 @@ void ingestManifest(const fs::path& path, Report& rep) {
         static_cast<std::uint64_t>(num(m, "campaign.merge_stall_nanos"));
     rep.campaignMergeNanos +=
         static_cast<std::uint64_t>(num(m, "campaign.merge_nanos"));
+  }
+  if (m.count("supervisor.items") != 0) {
+    // Supervised-campaign manifest (sim::appendManifest); may coexist with
+    // campaign.* pool keys on the same bench manifest.
+    rep.supervisorManifests += 1;
+    rep.supItems += static_cast<std::uint64_t>(num(m, "supervisor.items"));
+    rep.supCompleted +=
+        static_cast<std::uint64_t>(num(m, "supervisor.completed"));
+    rep.supReplayed +=
+        static_cast<std::uint64_t>(num(m, "supervisor.replayed"));
+    rep.supRetries +=
+        static_cast<std::uint64_t>(num(m, "supervisor.retries"));
+    rep.supQuarantined +=
+        static_cast<std::uint64_t>(num(m, "supervisor.quarantined"));
+    rep.supTimeoutsCycle +=
+        static_cast<std::uint64_t>(num(m, "supervisor.timeouts_cycle"));
+    rep.supTimeoutsWall +=
+        static_cast<std::uint64_t>(num(m, "supervisor.timeouts_wall"));
+    rep.supExceptions +=
+        static_cast<std::uint64_t>(num(m, "supervisor.exceptions"));
   }
   if (m.count("result.success") == 0) return;  // table manifest, not a run
   const std::string key = str(m, "algo") + " | " + str(m, "sched.kind") +
@@ -225,6 +269,43 @@ void ingestJsonl(const fs::path& path, Report& rep) {
       rep.eventLogCrashes += 1;
     }
   }
+}
+
+void ingestRepro(const fs::path& path, Report& rep) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "apf_report: cannot open %s\n",
+                 path.string().c_str());
+    return;
+  }
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  const auto doc = apf::obs::parseJson(text);
+  if (!doc || doc->kind != apf::obs::JsonNode::Kind::Object) {
+    std::fprintf(stderr, "apf_report: skipping malformed repro %s\n",
+                 path.string().c_str());
+    return;
+  }
+  Report::ReproInfo info;
+  info.file = path.filename().string();
+  const auto* algo = doc->find("algo");
+  const auto* kind = doc->find("violation_kind");
+  const auto* start = doc->find("start");
+  const auto* fault = doc->find("fault");
+  info.algo = algo != nullptr ? algo->asString("?") : "?";
+  info.kind = kind != nullptr ? kind->asString("") : "";
+  if (info.kind.empty()) info.kind = "(unpinned)";
+  if (start != nullptr && start->kind == apf::obs::JsonNode::Kind::Array) {
+    info.robots = start->items.size();
+  }
+  if (fault != nullptr) {
+    const auto* crashes = fault->find("crashes");
+    if (crashes != nullptr &&
+        crashes->kind == apf::obs::JsonNode::Kind::Array) {
+      info.crashes = crashes->items.size();
+    }
+  }
+  rep.repros.push_back(std::move(info));
 }
 
 void printGroups(const Report& rep) {
@@ -336,6 +417,35 @@ void printCampaign(const Report& rep) {
       static_cast<double>(rep.campaignMergeNanos) / 1e6);
 }
 
+void printSupervisor(const Report& rep) {
+  if (rep.supervisorManifests == 0 && rep.repros.empty()) return;
+  std::printf("\n== supervisor (docs/RESILIENCE.md) ==\n");
+  if (rep.supervisorManifests > 0) {
+    std::printf(
+        "manifests: %d; items: %llu (completed %llu, replayed %llu)\n"
+        "retries: %llu; quarantined: %llu\n"
+        "failures by kind: timeout_cycles=%llu timeout_wall=%llu "
+        "exception=%llu\n",
+        rep.supervisorManifests,
+        static_cast<unsigned long long>(rep.supItems),
+        static_cast<unsigned long long>(rep.supCompleted),
+        static_cast<unsigned long long>(rep.supReplayed),
+        static_cast<unsigned long long>(rep.supRetries),
+        static_cast<unsigned long long>(rep.supQuarantined),
+        static_cast<unsigned long long>(rep.supTimeoutsCycle),
+        static_cast<unsigned long long>(rep.supTimeoutsWall),
+        static_cast<unsigned long long>(rep.supExceptions));
+  }
+  if (!rep.repros.empty()) {
+    std::printf("minimized counterexamples (*.repro.json):\n");
+    for (const auto& r : rep.repros) {
+      std::printf("  %-32s %-10s algo=%s n=%zu crashes=%zu\n",
+                  r.file.c_str(), r.kind.c_str(), r.algo.c_str(), r.robots,
+                  r.crashes);
+    }
+  }
+}
+
 void printEventLogs(const Report& rep) {
   if (rep.jsonlFiles == 0) return;
   std::printf("\n== event logs (%llu files) ==\n",
@@ -384,6 +494,28 @@ bool crossCheck(const Report& rep, bool verbose) {
                   static_cast<unsigned long long>(n),
                   static_cast<unsigned long long>(fromEvents),
                   ok ? "OK" : "MISMATCH");
+    }
+  }
+  // Supervisor accounting: every quarantined item and every retry appears
+  // exactly once in the event stream (sim/supervisor.h merge-thread
+  // contract), so manifest tallies and event counts must agree.
+  if (rep.supervisorManifests > 0 && rep.jsonlFiles > 0) {
+    auto count = [&](const char* kind) -> std::uint64_t {
+      const auto it = rep.eventsByKind.find(kind);
+      return it == rep.eventsByKind.end() ? 0 : it->second;
+    };
+    const bool quarOk = count("run_quarantined") == rep.supQuarantined;
+    const bool retryOk = count("run_retried") == rep.supRetries;
+    allOk = allOk && quarOk && retryOk;
+    if (verbose) {
+      std::printf("%-18s manifests=%llu events=%llu %s\n", "quarantined",
+                  static_cast<unsigned long long>(rep.supQuarantined),
+                  static_cast<unsigned long long>(count("run_quarantined")),
+                  quarOk ? "OK" : "MISMATCH");
+      std::printf("%-18s manifests=%llu events=%llu %s\n", "retries",
+                  static_cast<unsigned long long>(rep.supRetries),
+                  static_cast<unsigned long long>(count("run_retried")),
+                  retryOk ? "OK" : "MISMATCH");
     }
   }
   // Fault accounting must agree too: every injected fault and every crash
@@ -491,6 +623,31 @@ void printJson(const Report& rep, bool consistent) {
     w.field("merge_nanos", rep.campaignMergeNanos);
     top.rawField("campaign", w.str());
   }
+  if (rep.supervisorManifests > 0 || !rep.repros.empty()) {
+    JsonObjectWriter w;
+    w.field("manifests", rep.supervisorManifests);
+    w.field("items", rep.supItems);
+    w.field("completed", rep.supCompleted);
+    w.field("replayed", rep.supReplayed);
+    w.field("retries", rep.supRetries);
+    w.field("quarantined", rep.supQuarantined);
+    w.field("timeouts_cycle", rep.supTimeoutsCycle);
+    w.field("timeouts_wall", rep.supTimeoutsWall);
+    w.field("exceptions", rep.supExceptions);
+    std::string repros;
+    for (const auto& r : rep.repros) {
+      JsonObjectWriter rw;
+      rw.field("file", r.file);
+      rw.field("algo", r.algo);
+      rw.field("violation_kind", r.kind);
+      rw.field("robots", static_cast<std::uint64_t>(r.robots));
+      rw.field("crashes", static_cast<std::uint64_t>(r.crashes));
+      if (!repros.empty()) repros += ",";
+      repros += rw.str();
+    }
+    w.rawField("repros", "[" + repros + "]");
+    top.rawField("supervisor", w.str());
+  }
   top.field("consistent", consistent);
   std::printf("%s\n", top.str().c_str());
 }
@@ -531,13 +688,16 @@ int main(int argc, char** argv) {
   }
 
   Report rep;
-  std::vector<fs::path> manifests, logs;
+  std::vector<fs::path> manifests, logs, repros;
   for (const auto& entry : fs::directory_iterator(dir)) {
     if (!entry.is_regular_file()) continue;
     const std::string name = entry.path().filename().string();
     if (name.size() > 14 &&
         name.compare(name.size() - 14, 14, ".manifest.json") == 0) {
       manifests.push_back(entry.path());
+    } else if (name.size() > 11 &&
+               name.compare(name.size() - 11, 11, ".repro.json") == 0) {
+      repros.push_back(entry.path());
     } else if (name.size() > 6 &&
                name.compare(name.size() - 6, 6, ".jsonl") == 0) {
       logs.push_back(entry.path());
@@ -545,6 +705,7 @@ int main(int argc, char** argv) {
   }
   std::sort(manifests.begin(), manifests.end());
   std::sort(logs.begin(), logs.end());
+  std::sort(repros.begin(), repros.end());
 
   for (const auto& p : manifests) {
     try {
@@ -555,9 +716,11 @@ int main(int argc, char** argv) {
     }
   }
   for (const auto& p : logs) ingestJsonl(p, rep);
+  for (const auto& p : repros) ingestRepro(p, rep);
 
   if (rep.groups.empty() && rep.jsonlFiles == 0 &&
-      rep.campaignManifests == 0) {
+      rep.campaignManifests == 0 && rep.supervisorManifests == 0 &&
+      rep.repros.empty()) {
     std::fprintf(stderr, "apf_report: no telemetry found in %s\n", dirArg);
     return usage();
   }
@@ -571,6 +734,7 @@ int main(int argc, char** argv) {
   printBits(rep);
   printPhases(rep);
   printCampaign(rep);
+  printSupervisor(rep);
   printFaults(rep);
   printEventLogs(rep);
   const bool consistent = crossCheck(rep, /*verbose=*/true);

@@ -11,12 +11,25 @@
 ///   apf_sim --start-file my_start.txt --pattern-file my_pattern.txt
 ///   apf_sim --jsonl run.jsonl --manifest run.manifest.json   # telemetry
 ///   apf_sim --json                              # one JSON line for scripts
+///
+/// Supervised campaigns (docs/RESILIENCE.md): --campaign N runs N seeded
+/// runs on the campaign pool under watchdog deadlines, bounded retry, and
+/// quarantine; --journal/--resume add a crash-safe checkpoint so a killed
+/// campaign continues where it stopped and merges bit-identical to an
+/// uninterrupted one:
+///   apf_sim --campaign 50 --journal c.journal --json > out.json
+///   apf_sim --campaign 50 --resume  c.journal --json > out.json
+/// Failure repro (sim/shrink.h): --repro-out captures a run's replay
+/// coordinates as a self-contained .repro.json (minimized with --shrink),
+/// and --replay re-executes one, exiting 0 iff the violation reproduces.
 
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baseline/det_election.h"
 #include "baseline/yy.h"
@@ -30,10 +43,13 @@
 #include "io/patterns.h"
 #include "io/serialize.h"
 #include "io/svg.h"
+#include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/recorder.h"
 #include "obs/span.h"
 #include "sim/engine.h"
+#include "sim/shrink.h"
+#include "sim/supervisor.h"
 #include "sim/trace.h"
 
 namespace {
@@ -71,6 +87,18 @@ struct Options {
   double truncProb = 0.0;
   std::uint64_t faultSeed = 0;
   bool faultSeedSet = false;
+  // Supervised campaigns (docs/RESILIENCE.md).
+  std::uint64_t campaignRuns = 0;  // 0 = single-run mode
+  std::string journalPath;         // fresh journal (truncates)
+  std::string resumePath;          // resume an existing journal
+  std::uint64_t watchdogEvents = 0;
+  std::uint64_t watchdogMs = 0;
+  int retries = 2;
+  std::string quarantinePath;
+  // Failure repro (sim/shrink.h).
+  std::string replayPath;
+  std::string reproOutPath;
+  bool doShrink = false;
 };
 
 void usage() {
@@ -110,6 +138,28 @@ void usage() {
       "  --drop P           drop a computed path with probability P\n"
       "  --trunc P          truncate a computed path with probability P\n"
       "  --fault-seed S     fault RNG stream seed (default: --seed)\n"
+      "supervised campaigns (docs/RESILIENCE.md):\n"
+      "  --campaign N       run N seeded runs (seeds --seed..+N-1) on the\n"
+      "                     campaign pool under the supervisor; exit 0 iff\n"
+      "                     nothing was quarantined\n"
+      "  --journal F        crash-safe checkpoint journal (fresh file)\n"
+      "  --resume F         resume from journal F (skips completed runs;\n"
+      "                     merges bit-identical to an uninterrupted\n"
+      "                     campaign)\n"
+      "  --watchdog-events N  per-attempt cycle budget (deterministic;\n"
+      "                     also applies to single runs, exit code 3)\n"
+      "  --watchdog-ms N    per-attempt wall budget (nondeterministic)\n"
+      "  --retries N        retry budget per run (default 2; attempt 1\n"
+      "                     reuses the same seed to prove determinism)\n"
+      "  --quarantine F     write the supervisor report JSON to F\n"
+      "failure repro (sim/shrink.h):\n"
+      "  --replay F         re-execute a .repro.json; exit 0 iff the\n"
+      "                     recorded violation reproduces\n"
+      "  --repro-out F      write this run's replay coordinates as a\n"
+      "                     self-contained .repro.json\n"
+      "  --shrink           minimize the repro before writing (delta\n"
+      "                     debugging; only with --repro-out)\n"
+      "general:\n"
       "  --json             print run manifest + result as one JSON line\n"
       "  --analyze          classify the start configuration and exit\n"
       "  --quiet            summary line only\n");
@@ -212,6 +262,28 @@ bool parse(int argc, char** argv, Options& o) {
     } else if (a == "--fault-seed") {
       o.faultSeed = parseU64("--fault-seed", next("--fault-seed"));
       o.faultSeedSet = true;
+    } else if (a == "--campaign") {
+      o.campaignRuns = parseU64("--campaign", next("--campaign"));
+      if (o.campaignRuns == 0) badValue("--campaign", "0", "at least one run");
+    } else if (a == "--journal") {
+      o.journalPath = next("--journal");
+    } else if (a == "--resume") {
+      o.resumePath = next("--resume");
+    } else if (a == "--watchdog-events") {
+      o.watchdogEvents =
+          parseU64("--watchdog-events", next("--watchdog-events"));
+    } else if (a == "--watchdog-ms") {
+      o.watchdogMs = parseU64("--watchdog-ms", next("--watchdog-ms"));
+    } else if (a == "--retries") {
+      o.retries = static_cast<int>(parseU64("--retries", next("--retries")));
+    } else if (a == "--quarantine") {
+      o.quarantinePath = next("--quarantine");
+    } else if (a == "--replay") {
+      o.replayPath = next("--replay");
+    } else if (a == "--repro-out") {
+      o.reproOutPath = next("--repro-out");
+    } else if (a == "--shrink") {
+      o.doShrink = true;
     } else if (a == "--multiplicity") {
       o.multiplicity = true;
     } else if (a == "--chirality") {
@@ -241,6 +313,24 @@ bool parse(int argc, char** argv, Options& o) {
   return true;
 }
 
+/// Maps an --algo (or ReproCase::algo) spelling to an instance; sets
+/// `multiplicity` when the algorithm requires detection. nullptr = unknown.
+std::unique_ptr<apf::sim::Algorithm> makeAlgorithm(const std::string& name,
+                                                   bool& multiplicity) {
+  using namespace apf;
+  if (name == "form") return std::make_unique<core::FormPatternAlgorithm>();
+  if (name == "rsb") return std::make_unique<core::RsbOnlyAlgorithm>();
+  if (name == "yy") return std::make_unique<baseline::YYAlgorithm>();
+  if (name == "det") {
+    return std::make_unique<baseline::DeterministicElection>();
+  }
+  if (name == "scatter-form") {
+    multiplicity = true;
+    return std::make_unique<core::ScatterThenForm>();
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -249,6 +339,34 @@ int main(int argc, char** argv) try {
   if (!parse(argc, argv, o)) {
     usage();
     return 2;
+  }
+
+  // --replay re-executes a self-contained .repro.json exactly (same safety
+  // observer as the fuzzer) and reports whether the recorded violation
+  // reproduces. Every run coordinate comes from the file, not the CLI.
+  if (!o.replayPath.empty()) {
+    const sim::ReproCase repro = sim::loadRepro(o.replayPath);
+    bool ignoredMult = false;
+    const auto replayAlgo = makeAlgorithm(repro.algo, ignoredMult);
+    if (replayAlgo == nullptr) {
+      std::fprintf(stderr, "apf_sim: repro names unknown algorithm '%s'\n",
+                   repro.algo.c_str());
+      return 2;
+    }
+    const sim::ReplayResult r = sim::replay(repro, *replayAlgo);
+    const bool ok = r.reproduces(repro);
+    std::printf(
+        "replay %s: algo=%s n=%zu expect=%s -> %s\n", o.replayPath.c_str(),
+        repro.algo.c_str(), repro.start.size(),
+        repro.violationKind.empty() ? "(any violation)"
+                                    : repro.violationKind.c_str(),
+        ok ? "REPRODUCED" : (r.violated ? "different violation" : "clean"));
+    if (r.violated && !o.quiet) {
+      std::printf("  %s at event %llu: %s\n", r.violationKind.c_str(),
+                  static_cast<unsigned long long>(r.violationEvent),
+                  r.violation.c_str());
+    }
+    return ok ? 0 : 1;
   }
 
   // Pattern.
@@ -291,19 +409,8 @@ int main(int argc, char** argv) try {
   }
 
   // Algorithm.
-  std::unique_ptr<sim::Algorithm> algo;
-  if (o.algo == "form") {
-    algo = std::make_unique<core::FormPatternAlgorithm>();
-  } else if (o.algo == "rsb") {
-    algo = std::make_unique<core::RsbOnlyAlgorithm>();
-  } else if (o.algo == "yy") {
-    algo = std::make_unique<baseline::YYAlgorithm>();
-  } else if (o.algo == "det") {
-    algo = std::make_unique<baseline::DeterministicElection>();
-  } else if (o.algo == "scatter-form") {
-    algo = std::make_unique<core::ScatterThenForm>();
-    o.multiplicity = true;
-  } else {
+  std::unique_ptr<sim::Algorithm> algo = makeAlgorithm(o.algo, o.multiplicity);
+  if (algo == nullptr) {
     std::fprintf(stderr, "unknown algorithm: %s\n", o.algo.c_str());
     return 2;
   }
@@ -351,11 +458,209 @@ int main(int argc, char** argv) try {
   opts.collectTimings =
       !o.jsonlPath.empty() || !o.manifestPath.empty() || o.json;
 
+  // ------------------------------------------------ supervised campaign --
+  if (o.campaignRuns > 0) {
+    const std::string patternLabel =
+        !o.patternFile.empty() ? o.patternFile : o.pattern;
+
+    // The campaign-defining options, as a flat manifest. Its JSON doubles
+    // as the journal's config key: resuming with ANY different option is a
+    // different experiment and must be refused, not silently merged.
+    obs::Manifest campaignKey;
+    campaignKey.set("campaign", "apf_sim");
+    campaignKey.set("algo", algo->name());
+    campaignKey.set("n", static_cast<std::uint64_t>(o.n));
+    campaignKey.set("pattern", patternLabel);
+    campaignKey.set("start", o.startFile.empty() ? o.startKind : o.startFile);
+    campaignKey.set("sched", o.sched);
+    campaignKey.set("seed", o.seed);
+    campaignKey.set("runs", o.campaignRuns);
+    campaignKey.set("max_events", o.maxEvents);
+    campaignKey.set("delta", o.delta);
+    campaignKey.set("multiplicity", o.multiplicity);
+    campaignKey.set("chirality", o.commonChirality);
+    campaignKey.set("crash_f", o.crashF);
+    campaignKey.set("crash_horizon", o.crashHorizon);
+    campaignKey.set("fault", fault::toJson(opts.fault));
+    const std::string configKey = campaignKey.toJson();
+
+    std::unique_ptr<sim::CampaignJournal> journal;
+    const bool resuming = !o.resumePath.empty();
+    const std::string jpath = resuming ? o.resumePath : o.journalPath;
+    if (!jpath.empty()) {
+      journal =
+          std::make_unique<sim::CampaignJournal>(jpath, configKey, resuming);
+    }
+
+    sim::SupervisorOptions sopts;
+    sopts.cycleBudget = o.watchdogEvents;
+    sopts.wallBudgetNanos = o.watchdogMs * 1'000'000ull;
+    sopts.maxRetries = o.retries;
+    sopts.recorder = sink.get();  // supervisor events only (merge thread)
+
+    std::vector<std::uint64_t> runSeeds(o.campaignRuns);
+    for (std::size_t i = 0; i < runSeeds.size(); ++i) {
+      runSeeds[i] = o.seed + i;
+    }
+
+    // Worker: one engine run per seed. Retry salts XOR into the effective
+    // seed (0 for attempts 0/1 — the same-seed determinism proof); crash
+    // victims/timings are re-drawn per run so the campaign explores many
+    // crash schedules. The payload is a flat JSON line with only
+    // deterministic fields, so campaign outputs diff bit-identical.
+    auto worker = [&](std::uint64_t runSeed, std::size_t,
+                      const sim::Attempt& att) -> std::string {
+      const std::uint64_t eff = runSeed ^ att.seedSalt;
+      sim::EngineOptions eopts = opts;
+      eopts.seed = eff;
+      eopts.watchdog = att.watchdog;
+      eopts.recorder = nullptr;  // per-run event logs stay off on the pool
+      eopts.collectTimings = false;
+      const std::uint64_t fseed = o.faultSeedSet ? o.faultSeed : eff;
+      fault::FaultPlan plan;
+      if (o.crashF > 0) {
+        plan = fault::planWithRandomCrashes(o.n, o.crashF, fseed,
+                                            o.crashHorizon);
+      }
+      plan.noiseSigma = o.noiseSigma;
+      plan.omitProb = o.omitProb;
+      plan.multFlipProb = o.multFlipProb;
+      plan.dropProb = o.dropProb;
+      plan.truncProb = o.truncProb;
+      plan.seed = fseed;
+      eopts.fault = plan;
+
+      config::Configuration runStart = start;
+      if (o.startFile.empty()) {
+        config::Rng rng(eff + 7);
+        if (o.startKind == "symmetric") {
+          const int rho = static_cast<int>(o.n) / 2;
+          runStart = config::symmetricConfiguration(rho > 1 ? rho : 2, 2,
+                                                    rng);
+        } else {
+          runStart = config::randomConfiguration(o.n, rng, 5.0, 0.1);
+        }
+      }
+
+      sim::Engine eng(runStart, pattern, *algo, eopts);
+      const sim::RunResult res = eng.run();
+      obs::JsonObjectWriter w;
+      w.field("seed", eff);
+      w.field("outcome", sim::outcomeName(res.outcome));
+      w.field("success", res.success);
+      w.field("terminated", res.terminated);
+      w.field("cycles", res.metrics.cycles);
+      w.field("events", res.metrics.events);
+      w.field("bits", res.metrics.randomBits);
+      w.field("distance", res.metrics.distance);
+      return w.str();
+    };
+
+    std::vector<std::string> payloads(o.campaignRuns);
+    auto mergeFn = [&](std::size_t i, std::string&& p) {
+      payloads[i] = std::move(p);
+    };
+
+    sim::SupervisorReport report;
+    if (journal != nullptr) {
+      sim::JournalCodec<std::string> codec;
+      codec.encode = [](const std::string& s) { return s; };
+      codec.decode = [](const std::string& s) { return s; };
+      report = sim::superviseCampaign(runSeeds, worker, mergeFn, *journal,
+                                      codec, sopts);
+    } else {
+      report = sim::superviseCampaign(runSeeds, worker, mergeFn, sopts);
+    }
+
+    if (!o.quarantinePath.empty()) report.write(o.quarantinePath);
+    if (!o.manifestPath.empty()) {
+      obs::Manifest m;
+      obs::addBuildInfo(m);
+      m.set("tool", "apf_sim.campaign");
+      m.merge(campaignKey);
+      sim::appendManifest(sopts, report, m);
+      m.write(o.manifestPath);
+    }
+
+    std::map<std::string, int> outcomes;
+    for (const std::string& p : payloads) {
+      if (p.empty()) continue;  // quarantined run: no payload
+      const auto obj = obs::parseFlatObject(p);
+      if (!obj) continue;
+      const auto it = obj->find("outcome");
+      if (it != obj->end()) outcomes[it->second.asString("?")] += 1;
+    }
+
+    if (o.json) {
+      // Deliberately free of wall-clock fields AND of the fresh-vs-replayed
+      // split (only their sum is invariant): a resumed campaign must print
+      // a document byte-identical to an uninterrupted one's — the CI
+      // kill-and-resume check diffs them directly. The split lives in the
+      // human output and the --quarantine report.
+      obs::JsonObjectWriter top;
+      top.field("schema", "apf.campaign.v1");
+      top.field("runs", o.campaignRuns);
+      top.field("finished", report.completed + report.replayed);
+      top.field("retries", report.retries);
+      top.field("quarantined", report.quarantined);
+      obs::JsonObjectWriter byOutcome;
+      for (const auto& [name, count] : outcomes) {
+        byOutcome.field(name, count);
+      }
+      top.rawField("outcomes", byOutcome.str());
+      std::string rows;
+      for (std::size_t i = 0; i < payloads.size(); ++i) {
+        if (i) rows += ',';
+        rows += payloads[i].empty() ? "null" : payloads[i];
+      }
+      top.rawField("results", "[" + rows + "]");
+      std::printf("%s\n", top.str().c_str());
+    } else {
+      std::printf(
+          "campaign: %llu runs  algo=%s n=%zu sched=%s seeds=%llu..%llu\n"
+          "  completed=%llu replayed=%llu retries=%llu quarantined=%llu\n",
+          static_cast<unsigned long long>(o.campaignRuns),
+          algo->name().c_str(), o.n, o.sched.c_str(),
+          static_cast<unsigned long long>(o.seed),
+          static_cast<unsigned long long>(o.seed + o.campaignRuns - 1),
+          static_cast<unsigned long long>(report.completed),
+          static_cast<unsigned long long>(report.replayed),
+          static_cast<unsigned long long>(report.retries),
+          static_cast<unsigned long long>(report.quarantined));
+      std::printf("  outcomes:");
+      for (const auto& [name, count] : outcomes) {
+        std::printf("  %s=%d", name.c_str(), count);
+      }
+      std::printf("\n");
+      if (journal != nullptr) {
+        std::printf("  journal: %s (%zu entries%s)\n",
+                    journal->path().c_str(), journal->completedCount(),
+                    journal->recoveredTornLine() ? ", recovered torn tail"
+                                                 : "");
+      }
+      for (const sim::QuarantinedItem& q : report.quarantine) {
+        std::printf("  quarantined run %zu%s: %s\n", q.index,
+                    q.deterministic ? " (deterministic)" : "",
+                    q.attempts.empty() ? "?"
+                                       : q.attempts.back().message.c_str());
+      }
+    }
+    return report.allCompleted() ? 0 : 1;
+  }
+
   // --trace dispatches on extension: .json = Chrome trace-event spans,
   // anything else = the legacy position CSV.
   const bool chromeTrace =
       o.tracePath.size() >= 5 &&
       o.tracePath.compare(o.tracePath.size() - 5, 5, ".json") == 0;
+
+  // Single runs honor the watchdog flags too: a cycle budget makes a
+  // suspected livelock reproducible ("times out at event N" is a fact, not
+  // a wall-clock accident).
+  sim::Watchdog watchdog(o.watchdogEvents, o.watchdogMs * 1'000'000ull);
+  if (o.watchdogEvents != 0 || o.watchdogMs != 0) {
+    opts.watchdog = &watchdog;
+  }
 
   sim::Engine engine(start, pattern, *algo, opts);
   sim::Trace trace;
@@ -368,7 +673,14 @@ int main(int argc, char** argv) try {
     spans = std::make_unique<obs::SpanCollector>();
     spans->install();
   }
-  const sim::RunResult res = engine.run();
+  sim::RunResult res;
+  try {
+    res = engine.run();
+  } catch (const sim::WatchdogExpired& e) {
+    if (spans != nullptr) obs::SpanCollector::uninstall();
+    std::fprintf(stderr, "apf_sim: %s\n", e.what());
+    return 3;
+  }
   if (spans != nullptr) {
     obs::SpanCollector::uninstall();
     spans->writeChromeTrace(o.tracePath);
@@ -404,6 +716,48 @@ int main(int argc, char** argv) try {
         std::printf("  %-16s %llu\n", core::phaseName(tag),
                     static_cast<unsigned long long>(cnt));
       }
+    }
+  }
+
+  // --repro-out: capture this run's exact replay coordinates. The case is
+  // probed under the fuzzer's safety observer first; when it violates, the
+  // violation kind is pinned (and --shrink minimizes the case) so
+  // `apf_sim --replay` asserts the same invariant breaks again.
+  if (!o.reproOutPath.empty()) {
+    sim::ReproCase repro;
+    repro.algo = o.algo;
+    repro.start = start;
+    repro.pattern = pattern;
+    repro.seed = o.seed;
+    repro.maxEvents = o.maxEvents;
+    repro.delta = o.delta;
+    repro.earlyStopProb = opts.sched.earlyStopProb;
+    repro.multiplicityDetection = o.multiplicity;
+    repro.commonChirality = o.commonChirality;
+    repro.sched = opts.sched.kind;
+    repro.fault = opts.fault;
+    const sim::ReplayResult probe = sim::replay(repro, *algo);
+    if (probe.violated) {
+      repro.violationKind = probe.violationKind;
+      if (o.doShrink) {
+        const sim::ShrinkResult sr = sim::shrink(repro, *algo);
+        std::fprintf(stderr,
+                     "apf_sim: shrink: %d probes, removed %zu robots and "
+                     "%zu crash entries, cleared %d fault knobs\n",
+                     sr.probes, sr.robotsRemoved, sr.crashesRemoved,
+                     sr.knobsCleared);
+        repro = sr.minimized;
+      }
+      sim::saveRepro(o.reproOutPath, repro);
+      std::fprintf(stderr, "apf_sim: wrote %s (%s, n=%zu, %zu crash entries)\n",
+                   o.reproOutPath.c_str(), repro.violationKind.c_str(),
+                   repro.start.size(), repro.fault.crashes.size());
+    } else {
+      sim::saveRepro(o.reproOutPath, repro);
+      std::fprintf(stderr,
+                   "apf_sim: wrote %s (no safety violation under the replay "
+                   "observer; repro records the run coordinates only)\n",
+                   o.reproOutPath.c_str());
     }
   }
 
