@@ -136,6 +136,9 @@ int main() {
                    frac(sim::Outcome::Stalled),
                    frac(sim::Outcome::SafetyViolation),
                    io::fmt(statsOf(events).mean, 0)});
+        table.recordRuns("f" + std::to_string(f) + "_s" + io::fmt(sigma, 2) +
+                             "_o" + io::fmt(omit, 2),
+                         static_cast<std::uint64_t>(kSeeds));
       }
     }
   }

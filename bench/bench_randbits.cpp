@@ -57,6 +57,8 @@ int main() {
                  std::to_string(ok) + "/" + std::to_string(kSeeds),
                  io::fmt(bs.mean, 1), io::fmt(bs.p95, 0),
                  io::fmt(statsOf(perCycle).max, 3)});
+      table.recordRuns(std::string(name) + "_n" + std::to_string(n),
+                       static_cast<std::uint64_t>(kSeeds));
     }
   }
   table.print();

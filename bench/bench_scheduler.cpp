@@ -71,6 +71,9 @@ int main() {
                std::to_string(ok) + "/" + std::to_string(kSeeds),
                io::fmt(statsOf(cycles).mean, 0),
                io::fmt(statsOf(events).mean, 0)});
+    table.recordRuns(std::string(cell.name) + "_es" +
+                         io::fmt(cell.earlyStop, 1),
+                     static_cast<std::uint64_t>(kSeeds));
   }
   table.print();
   return 0;

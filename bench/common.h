@@ -244,6 +244,14 @@ class Table {
   /// this to attach e.g. `campaign.*` pool statistics to their output.
   obs::Manifest& meta() { return meta_; }
 
+  /// Records how many simulation runs back one aggregated cell, under
+  /// `runs.<cell>` in the CSV manifest. Every mean/percentile row should
+  /// carry this — an aggregate whose sample count isn't recorded anywhere
+  /// can't be judged for precision (docs/STATISTICS.md).
+  void recordRuns(const std::string& cell, std::uint64_t runs) {
+    meta_.set("runs." + cell, runs);
+  }
+
   void print() const {
     // A bench's CSV is a run/bench output: give it a manifest so any row
     // can be traced back to the producing build.

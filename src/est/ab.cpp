@@ -1,0 +1,102 @@
+#include "est/ab.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace apf::est {
+
+const char* verdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::Indistinguishable:
+      return "indistinguishable";
+    case Verdict::AHigher:
+      return "a_higher";
+    case Verdict::BHigher:
+      return "b_higher";
+  }
+  return "?";
+}
+
+RateComparison compareRates(const BernoulliSummary& a,
+                            const BernoulliSummary& b, double confidence) {
+  RateComparison cmp;
+  const double pA = a.rate();
+  const double pB = b.rate();
+  cmp.diff = pA - pB;
+  const Interval wA = wilson(a, confidence);
+  const Interval wB = wilson(b, confidence);
+  // Newcombe (1998) method 10: square-and-add the per-arm Wilson margins.
+  const double loMargin = std::sqrt((pA - wA.lo) * (pA - wA.lo) +
+                                    (wB.hi - pB) * (wB.hi - pB));
+  const double hiMargin = std::sqrt((wA.hi - pA) * (wA.hi - pA) +
+                                    (pB - wB.lo) * (pB - wB.lo));
+  cmp.ci = {std::max(-1.0, cmp.diff - loMargin),
+            std::min(1.0, cmp.diff + hiMargin)};
+  if (cmp.ci.lo > 0.0) {
+    cmp.verdict = Verdict::AHigher;
+  } else if (cmp.ci.hi < 0.0) {
+    cmp.verdict = Verdict::BHigher;
+  }
+  return cmp;
+}
+
+MeanComparison compareMeans(const MomentSummary& a, const MomentSummary& b,
+                            double confidence) {
+  MeanComparison cmp;
+  cmp.diff = a.mean - b.mean;
+  cmp.a = empiricalBernstein(a, confidence);
+  cmp.b = empiricalBernstein(b, confidence);
+  if (a.count == 0 || b.count == 0) return cmp;
+  if (!cmp.a.overlaps(cmp.b)) {
+    cmp.verdict = cmp.a.lo > cmp.b.hi ? Verdict::AHigher : Verdict::BHigher;
+  }
+  return cmp;
+}
+
+namespace {
+
+std::string rateJson(const RateComparison& cmp) {
+  obs::JsonObjectWriter w;
+  w.field("diff", cmp.diff);
+  w.field("ci_lo", cmp.ci.lo);
+  w.field("ci_hi", cmp.ci.hi);
+  w.field("verdict", verdictName(cmp.verdict));
+  return w.str();
+}
+
+std::string meanJson(const MeanComparison& cmp) {
+  obs::JsonObjectWriter w;
+  w.field("diff", cmp.diff);
+  w.field("a_lo", cmp.a.lo);
+  w.field("a_hi", cmp.a.hi);
+  w.field("b_lo", cmp.b.lo);
+  w.field("b_hi", cmp.b.hi);
+  w.field("verdict", verdictName(cmp.verdict));
+  return w.str();
+}
+
+}  // namespace
+
+std::string AbReport::toJson() const {
+  obs::JsonObjectWriter w;
+  w.field("confidence", confidence);
+  w.rawField("success", rateJson(success));
+  w.rawField("cycles", meanJson(cycles));
+  w.rawField("events", meanJson(events));
+  w.rawField("bits", meanJson(bits));
+  return w.str();
+}
+
+AbReport compareArms(const ArmEstimate& a, const ArmEstimate& b) {
+  AbReport report;
+  report.confidence = a.confidence;
+  report.success = compareRates(a.success, b.success, report.confidence);
+  report.cycles = compareMeans(a.cycles, b.cycles, report.confidence);
+  report.events = compareMeans(a.events, b.events, report.confidence);
+  report.bits = compareMeans(a.bits, b.bits, report.confidence);
+  return report;
+}
+
+}  // namespace apf::est

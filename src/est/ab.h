@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file ab.h
+/// Two-sample A/B comparison gates (docs/STATISTICS.md). Given two
+/// estimation arms — in this repository, ψ-RSB versus the
+/// Yamauchi–Yamashita baseline under one scheduler — the gates answer the
+/// only question a paper-reproduction campaign actually asks: at the
+/// requested confidence, is arm A better, worse, or indistinguishable?
+///
+///  * Success rates are compared with the Newcombe score interval on
+///    pA − pB (the Wilson-bound hybrid, Newcombe 1998 method 10): it
+///    inherits Wilson's good small-n coverage and never produces an
+///    interval outside [-1, 1].
+///  * Means (random bits, cycles, scheduler events) are compared by
+///    interval separation: each arm gets an empirical-Bernstein bound and
+///    the verdict is decided only when the bounds do not overlap. This is
+///    conservative — a deliberate property for a gate that CI will quote.
+///
+/// Everything here is a pure function of the two summaries, so an A/B
+/// report is byte-identical whenever the two arms are (adaptive.h).
+
+#include <string>
+
+#include "est/adaptive.h"
+#include "est/estimators.h"
+
+namespace apf::est {
+
+/// Three-way gate verdict.
+enum class Verdict : std::uint8_t {
+  Indistinguishable,  ///< interval straddles zero / bounds overlap
+  AHigher,            ///< arm A's quantity is higher at this confidence
+  BHigher,            ///< arm B's quantity is higher at this confidence
+};
+
+/// Stable wire name ("indistinguishable" / "a_higher" / "b_higher").
+const char* verdictName(Verdict verdict);
+
+/// Success-rate comparison: Newcombe score interval on pA − pB.
+struct RateComparison {
+  double diff = 0.0;  ///< point estimate pA − pB
+  Interval ci;        ///< Newcombe interval on the difference
+  Verdict verdict = Verdict::Indistinguishable;
+};
+
+RateComparison compareRates(const BernoulliSummary& a,
+                            const BernoulliSummary& b, double confidence);
+
+/// Mean comparison by empirical-Bernstein interval separation.
+struct MeanComparison {
+  double diff = 0.0;  ///< point estimate meanA − meanB
+  Interval a;         ///< EB bound on arm A's mean
+  Interval b;         ///< EB bound on arm B's mean
+  Verdict verdict = Verdict::Indistinguishable;
+};
+
+MeanComparison compareMeans(const MomentSummary& a, const MomentSummary& b,
+                            double confidence);
+
+/// Full A/B report over two estimation arms.
+struct AbReport {
+  double confidence = 0.95;
+  RateComparison success;
+  MeanComparison cycles;
+  MeanComparison events;
+  MeanComparison bits;
+
+  /// Nested JSON fragment (no wall-clock fields; byte-stable).
+  std::string toJson() const;
+};
+
+AbReport compareArms(const ArmEstimate& a, const ArmEstimate& b);
+
+}  // namespace apf::est

@@ -1,0 +1,282 @@
+#include "est/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace apf::est {
+
+namespace {
+
+/// Parses one flat JSON object or throws (shared by the fromJson methods —
+/// summaries are persisted inside journals and reports, so a torn or
+/// hand-edited fragment must fail loudly, not decode to zeros).
+obs::JsonObject parseOrThrow(std::string_view text, const char* what) {
+  auto obj = obs::parseFlatObject(text);
+  if (!obj) {
+    throw std::runtime_error(std::string("est: malformed ") + what +
+                             " JSON: " + std::string(text));
+  }
+  return *obj;
+}
+
+double fieldNum(const obs::JsonObject& obj, const char* key,
+                const char* what) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != obs::JsonValue::Kind::Number) {
+    throw std::runtime_error(std::string("est: ") + what +
+                             " missing numeric field '" + key + "'");
+  }
+  return it->second.number;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Normal quantile (Acklam's rational approximation + one Halley refinement)
+// ---------------------------------------------------------------------------
+
+double normalQuantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("normalQuantile: p must lie in (0, 1)");
+  }
+  // Coefficients from Peter Acklam's canonical approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double pLow = 0.02425;
+  double x;
+  if (p < pLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - pLow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley step against the exact CDF brings |error| under 1e-12.
+  constexpr double kSqrt2Pi = 2.5066282746310002;
+  const double e =
+      0.5 * std::erfc(-x / std::sqrt(2.0)) - p;            // CDF(x) - p
+  const double u = e * kSqrt2Pi * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// Regularized incomplete beta (continued fraction) and its inverse
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Lentz continued-fraction evaluation of I_x(a,b)'s fraction part
+/// (Numerical Recipes betacf).
+double betaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3.0e-16;
+  constexpr double kFpMin = 1.0e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double regularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double lnBeta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front =
+      std::exp(lnBeta + a * std::log(x) + b * std::log(1.0 - x));
+  // Use the expansion on the side where it converges fast.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+namespace {
+
+/// Inverse of I_x(a, b) in x by bisection: monotone, bounded, and exactly
+/// reproducible (no platform-dependent special functions on the path).
+/// 200 halvings reach the limit of double resolution.
+double betaQuantile(double p, double a, double b) {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    if (mid <= lo || mid >= hi) break;  // interval collapsed to a double
+    if (regularizedIncompleteBeta(a, b, mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bernoulli summaries + intervals
+// ---------------------------------------------------------------------------
+
+std::string BernoulliSummary::toJson() const {
+  obs::JsonObjectWriter w;
+  w.field("trials", trials);
+  w.field("successes", successes);
+  return w.str();
+}
+
+BernoulliSummary BernoulliSummary::fromJson(std::string_view text) {
+  const obs::JsonObject obj = parseOrThrow(text, "BernoulliSummary");
+  BernoulliSummary s;
+  s.trials =
+      static_cast<std::uint64_t>(fieldNum(obj, "trials", "BernoulliSummary"));
+  s.successes = static_cast<std::uint64_t>(
+      fieldNum(obj, "successes", "BernoulliSummary"));
+  if (s.successes > s.trials) {
+    throw std::runtime_error("est: BernoulliSummary successes > trials");
+  }
+  return s;
+}
+
+Interval wilson(const BernoulliSummary& s, double confidence) {
+  if (s.trials == 0) return {0.0, 1.0};
+  const double z = normalQuantile(0.5 + confidence / 2.0);
+  const double n = static_cast<double>(s.trials);
+  const double p = s.rate();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+Interval clopperPearson(const BernoulliSummary& s, double confidence) {
+  if (s.trials == 0) return {0.0, 1.0};
+  const double alpha = 1.0 - confidence;
+  const double n = static_cast<double>(s.trials);
+  const double k = static_cast<double>(s.successes);
+  Interval iv;
+  // Boundary cases have closed forms; the Beta quantile handles the rest.
+  iv.lo = s.successes == 0 ? 0.0
+                           : betaQuantile(alpha / 2.0, k, n - k + 1.0);
+  iv.hi = s.successes == s.trials
+              ? 1.0
+              : betaQuantile(1.0 - alpha / 2.0, k + 1.0, n - k);
+  return iv;
+}
+
+// ---------------------------------------------------------------------------
+// Moment summaries + empirical Bernstein
+// ---------------------------------------------------------------------------
+
+void MomentSummary::add(double x) {
+  if (count == 0) {
+    min = max = x;
+  } else {
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  count += 1;
+  const double delta = x - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (x - mean);
+}
+
+void MomentSummary::merge(const MomentSummary& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  const double nA = static_cast<double>(count);
+  const double nB = static_cast<double>(other.count);
+  const double delta = other.mean - mean;
+  const double nTotal = nA + nB;
+  mean += delta * (nB / nTotal);
+  m2 += other.m2 + delta * delta * (nA * nB / nTotal);
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+}
+
+std::string MomentSummary::toJson() const {
+  obs::JsonObjectWriter w;
+  w.field("count", count);
+  w.field("mean", mean);
+  w.field("m2", m2);
+  w.field("min", min);
+  w.field("max", max);
+  return w.str();
+}
+
+MomentSummary MomentSummary::fromJson(std::string_view text) {
+  const obs::JsonObject obj = parseOrThrow(text, "MomentSummary");
+  MomentSummary s;
+  s.count =
+      static_cast<std::uint64_t>(fieldNum(obj, "count", "MomentSummary"));
+  s.mean = fieldNum(obj, "mean", "MomentSummary");
+  s.m2 = fieldNum(obj, "m2", "MomentSummary");
+  s.min = fieldNum(obj, "min", "MomentSummary");
+  s.max = fieldNum(obj, "max", "MomentSummary");
+  return s;
+}
+
+Interval empiricalBernstein(const MomentSummary& s, double confidence,
+                            double range) {
+  if (s.count == 0) return {0.0, 0.0};
+  const double n = static_cast<double>(s.count);
+  const double r = range > 0.0 ? range : s.max - s.min;
+  const double delta = 1.0 - confidence;
+  const double logTerm = std::log(3.0 / delta);
+  const double half = std::sqrt(2.0 * s.variance() * logTerm / n) +
+                      3.0 * r * logTerm / n;
+  return {s.mean - half, s.mean + half};
+}
+
+}  // namespace apf::est

@@ -1,0 +1,59 @@
+#include "est/stopping.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace apf::est {
+
+const char* stopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::MaxSamples:
+      return "max_samples";
+    case StopReason::HalfWidth:
+      return "half_width";
+    case StopReason::Futility:
+      return "futility";
+  }
+  return "?";
+}
+
+void StoppingOptions::validate() const {
+  auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("est: " + msg);
+  };
+  if (batchSize == 0) fail("stopping.batch_size must be >= 1");
+  if (maxSamples == 0) fail("stopping.max_samples must be >= 1");
+  if (minSamples > maxSamples) {
+    fail("stopping.min_samples (" + std::to_string(minSamples) +
+         ") exceeds max_samples (" + std::to_string(maxSamples) + ")");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    fail("stopping.confidence must lie in (0, 1)");
+  }
+  if (!(targetHalfWidth >= 0.0) || !std::isfinite(targetHalfWidth)) {
+    fail("stopping.target_half_width must be finite and >= 0");
+  }
+  if (!(futilityFloor >= 0.0 && futilityFloor <= 1.0)) {
+    fail("stopping.futility_floor must lie in [0, 1]");
+  }
+}
+
+std::optional<StopReason> evaluateStop(const StoppingOptions& opts,
+                                       const BernoulliSummary& success,
+                                       std::uint64_t samples) {
+  if (samples >= opts.maxSamples) return StopReason::MaxSamples;
+  if (samples < opts.minSamples) return std::nullopt;
+  const Interval ci = wilson(success, opts.confidence);
+  // Futility first: an estimate can be both precise and hopeless, and
+  // "this arm is dead" is the more actionable verdict.
+  if (opts.futilityFloor > 0.0 && ci.hi < opts.futilityFloor) {
+    return StopReason::Futility;
+  }
+  if (opts.targetHalfWidth > 0.0 && ci.halfWidth() <= opts.targetHalfWidth) {
+    return StopReason::HalfWidth;
+  }
+  return std::nullopt;
+}
+
+}  // namespace apf::est

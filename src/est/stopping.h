@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file stopping.h
+/// Sequential stopping rules for adaptive Monte Carlo campaigns
+/// (docs/STATISTICS.md). A fixed-size campaign either wastes samples (the
+/// estimate converged long ago) or under-samples (the error bar is still
+/// too wide); a stopping rule spends exactly enough.
+///
+/// Peeking discipline: the rule is evaluated ONLY at batch boundaries, on
+/// the merged summaries of every completed batch. Evaluating at a coarse,
+/// pre-declared grid (rather than after every sample) keeps the familiar
+/// optional-stopping inflation of error rates small and — more importantly
+/// here — makes the stopping point a pure function of
+/// (base seed, options), so an adaptive run is exactly reproducible and
+/// scheduler-independent (see adaptive.h's determinism contract).
+
+#include <cstdint>
+#include <optional>
+
+#include "est/estimators.h"
+
+namespace apf::est {
+
+/// Why an adaptive campaign stopped.
+enum class StopReason : std::uint8_t {
+  MaxSamples,  ///< sample budget exhausted without convergence
+  HalfWidth,   ///< success-rate CI reached the target half-width
+  Futility,    ///< success-rate CI upper bound fell below the floor
+};
+
+/// Stable wire name ("max_samples" / "half_width" / "futility").
+const char* stopReasonName(StopReason reason);
+
+struct StoppingOptions {
+  /// Samples scheduled per batch; the stopping rule runs after each batch.
+  std::uint64_t batchSize = 16;
+  /// No stopping decision (other than the hard max) before this many
+  /// samples: tiny-n intervals are erratic and futility verdicts from a
+  /// handful of runs would be noise.
+  std::uint64_t minSamples = 32;
+  /// Hard sample budget. The driver never schedules past it (the final
+  /// batch is truncated to land exactly on it).
+  std::uint64_t maxSamples = 512;
+  /// Confidence level for every interval the rule consults.
+  double confidence = 0.95;
+  /// Stop when the Wilson interval's half-width on the success rate drops
+  /// to this value or below. 0 disables the criterion.
+  double targetHalfWidth = 0.05;
+  /// Futility cutoff: stop when the Wilson UPPER bound on the success rate
+  /// falls below this floor — the hypothesis "this variant mostly works"
+  /// is already dead, so further samples are wasted. 0 disables.
+  double futilityFloor = 0.0;
+
+  /// Throws std::invalid_argument on nonsensical settings (batchSize == 0,
+  /// maxSamples == 0, min > max, confidence outside (0, 1), ...).
+  void validate() const;
+};
+
+/// Evaluates the rule on the merged success summary after a batch
+/// boundary at `samples` completed samples. Returns the stop reason, or
+/// nullopt to continue. Pure function — the adaptive driver's determinism
+/// rests on this being a function of its arguments alone.
+std::optional<StopReason> evaluateStop(const StoppingOptions& opts,
+                                       const BernoulliSummary& success,
+                                       std::uint64_t samples);
+
+}  // namespace apf::est

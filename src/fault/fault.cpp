@@ -8,6 +8,7 @@
 
 #include "obs/json.h"
 #include "obs/manifest.h"
+#include "sched/seed.h"
 
 namespace apf::fault {
 
@@ -15,12 +16,7 @@ namespace {
 
 bool isProb(double p) { return std::isfinite(p) && p >= 0.0 && p <= 1.0; }
 
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
+using sched::splitmix64;  // shared derivation path (sched/seed.h)
 
 }  // namespace
 

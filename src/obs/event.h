@@ -40,6 +40,12 @@ enum class EventKind : std::uint8_t {
   RunRetried,      ///< a failed item is being retried (possibly reseeded)
   RunQuarantined,  ///< an item exhausted its retry budget
   Checkpoint,      ///< an item's result was journaled (fsync'd)
+  // Adaptive-estimation events (est/adaptive.h). Like supervisor events
+  // they concern campaign structure, not robots: `robot` carries the batch
+  // index, and they are emitted on the driver thread with wallNanos = 0 so
+  // adaptive reports stay byte-deterministic.
+  BatchScheduled,     ///< an adaptive driver committed to a sample batch
+  EstimateConverged,  ///< a stopping rule fired before the max budget
 };
 
 /// Stable wire name (used as the "ev" field of JSONL lines).

@@ -47,6 +47,10 @@ const char* eventKindName(EventKind kind) {
       return "run_quarantined";
     case EventKind::Checkpoint:
       return "checkpoint";
+    case EventKind::BatchScheduled:
+      return "batch_scheduled";
+    case EventKind::EstimateConverged:
+      return "estimate_converged";
   }
   return "?";
 }
@@ -75,7 +79,9 @@ std::string toJsonLine(const Event& e) {
   const bool supervisor = e.kind == EventKind::RunTimeout ||
                           e.kind == EventKind::RunRetried ||
                           e.kind == EventKind::RunQuarantined ||
-                          e.kind == EventKind::Checkpoint;
+                          e.kind == EventKind::Checkpoint ||
+                          e.kind == EventKind::BatchScheduled ||
+                          e.kind == EventKind::EstimateConverged;
   JsonObjectWriter w;
   w.field("ev", eventKindName(e.kind));
   w.field("i", e.index);
@@ -138,6 +144,16 @@ std::string toJsonLine(const Event& e) {
       break;
     case EventKind::Checkpoint:
       w.field("bytes", e.bitsUsed);
+      break;
+    case EventKind::BatchScheduled:
+      // item = batch index; the batch covers samples
+      // [first_sample, first_sample + size).
+      w.field("first_sample", e.schedEvent);
+      w.field("size", e.bitsUsed);
+      break;
+    case EventKind::EstimateConverged:
+      // item = batches consumed; samples = total trials at the stop.
+      w.field("samples", e.schedEvent);
       break;
     case EventKind::RunStart:
     case EventKind::Look:

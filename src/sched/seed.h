@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file seed.h
+/// The repository's single audited seed-derivation path. Every place that
+/// turns one base seed into a family of decorrelated streams — supervisor
+/// retry salts, fault-injection streams, adaptive-campaign batch seeds —
+/// goes through the splitmix64 finalizer below, so the derivation can be
+/// reviewed (and, if ever necessary, changed) in exactly one place.
+///
+/// splitmix64 is a bijective avalanche mixer: distinct inputs give distinct
+/// outputs, and flipping any input bit flips each output bit with
+/// probability ~1/2. That makes `sampleSeed(base, i)` families safe to feed
+/// to std::mt19937_64 even when callers use consecutive indices, and keeps
+/// seed arithmetic (XOR-folding salts, index offsets) free of the
+/// correlated-low-bits trap of raw `base + i` seeding.
+
+#include <cstdint>
+
+namespace apf::sched {
+
+/// splitmix64 finalizer (Steele, Lea & Flood; public-domain reference
+/// constants). Deterministic, dependency-free, identical on every platform.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Seed for the `index`-th sample of a campaign rooted at `base`.
+/// Mixing the index *before* folding it into the base keeps nearby indices
+/// decorrelated, and mixing again afterwards decorrelates nearby bases —
+/// sampleSeed(1, k) and sampleSeed(2, k) share no obvious structure. The
+/// adaptive estimation driver (src/est/adaptive.h) derives every trial seed
+/// through this function, so a stopping decision replays exactly from
+/// (base seed, sample index) alone.
+constexpr std::uint64_t sampleSeed(std::uint64_t base, std::uint64_t index) {
+  return splitmix64(base ^ splitmix64(index));
+}
+
+}  // namespace apf::sched

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "sched/seed.h"
 
 #if defined(_WIN32)
 #include <io.h>
@@ -16,13 +17,6 @@
 namespace apf::sim {
 
 namespace {
-
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
 
 /// fsync the stdio stream (after fflush). Durability is the whole point of
 /// the journal: a SIGKILL between append() returning and the next line
@@ -63,9 +57,10 @@ const char* failureKindName(FailureKind kind) {
 std::uint64_t retrySeedSalt(int number) {
   // Attempts 0 and 1 share the base seed: attempt 1 is the same-seed
   // determinism proof, not a new draw. Later attempts rotate through a
-  // fixed splitmix64 sequence so retried campaigns stay reproducible.
+  // fixed splitmix64 sequence (sched/seed.h, the shared derivation path)
+  // so retried campaigns stay reproducible.
   if (number <= 1) return 0;
-  return splitmix64(static_cast<std::uint64_t>(number));
+  return sched::splitmix64(static_cast<std::uint64_t>(number));
 }
 
 bool sameFailure(const AttemptFailure& a, const AttemptFailure& b) {

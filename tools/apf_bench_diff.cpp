@@ -1,14 +1,17 @@
 /// \file apf_bench_diff.cpp
-/// Perf-regression gate: compares two `BENCH_perf.json` documents (written
-/// by bench/bench_perf.cpp) metric by metric, prints a delta table, and
+/// Perf-regression gate: compares two bench documents — `BENCH_perf.json`
+/// (bench/bench_perf.cpp) or `BENCH_estimate.json` (bench/
+/// bench_estimate.cpp) — metric by metric, prints a delta table, and
 /// exits non-zero when any workload regressed beyond the noise threshold.
-/// CI's perf-smoke job runs it against the tracked quick-mode baseline in
-/// `results/ci/` (see docs/PERFORMANCE.md for the threshold rationale).
+/// CI's perf-smoke and estimate-smoke jobs run it against the tracked
+/// quick-mode baselines in `results/ci/` (see docs/PERFORMANCE.md for the
+/// threshold rationale).
 ///
 /// Usage:
 ///   apf_bench_diff [options] BASELINE CURRENT
-/// where BASELINE and CURRENT are BENCH_perf.json files, or directories
-/// containing one.
+/// where BASELINE and CURRENT are bench JSON files, or directories
+/// containing a BENCH_perf.json. Both files must carry the same schema
+/// (comparing a perf bench against an estimation bench is a usage error).
 ///
 /// Workloads are matched by (workload, n, serial-vs-parallel) — not by the
 /// literal job count, which varies with the machine running the bench.
@@ -32,6 +35,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "cli_parse.h"
 
 namespace fs = std::filesystem;
 using apf::obs::JsonNode;
@@ -48,6 +52,7 @@ struct Row {
 };
 
 struct BenchDoc {
+  std::string schema;
   bool quick = false;
   std::vector<Row> rows;
 };
@@ -96,10 +101,14 @@ BenchDoc load(const std::string& path) {
     die("malformed JSON: " + path);
   }
   const JsonNode* schema = doc->find("schema");
-  if (schema == nullptr || schema->asString() != "apf.bench_perf.v1") {
-    die("not a BENCH_perf.json (schema mismatch): " + path);
+  const std::string schemaName =
+      schema == nullptr ? "" : schema->asString();
+  if (schemaName != "apf.bench_perf.v1" &&
+      schemaName != "apf.bench_estimate.v1") {
+    die("not a bench JSON (schema mismatch): " + path);
   }
   BenchDoc out;
+  out.schema = schemaName;
   const JsonNode* quick = doc->find("quick");
   out.quick = quick != nullptr && quick->asBool(false);
   const JsonNode* workloads = doc->find("workloads");
@@ -153,13 +162,16 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(a, "--threshold") == 0) {
-      threshold = std::atof(next());
+      // Loud parsing (tools/cli_parse.h): atof's silent 0.0 on a mistyped
+      // value would gate against the wrong threshold without a word.
+      threshold =
+          apf::cli::parseDouble("apf_bench_diff", "--threshold", next());
       if (threshold <= 0.0 || threshold >= 1.0) {
         die("--threshold must be in (0, 1)");
       }
     } else if (std::strcmp(a, "--min-wall-ms") == 0) {
-      minWallMs = std::atof(next());
-      if (minWallMs < 0.0) die("--min-wall-ms must be non-negative");
+      minWallMs = apf::cli::parseNonNegative("apf_bench_diff",
+                                             "--min-wall-ms", next());
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       return usage();
     } else if (a[0] == '-') {
@@ -175,6 +187,10 @@ int main(int argc, char** argv) {
   const std::string curPath = resolvePath(paths[1]);
   const BenchDoc base = load(basePath);
   const BenchDoc cur = load(curPath);
+  if (base.schema != cur.schema) {
+    die("incomparable: baseline schema " + base.schema +
+        " vs current schema " + cur.schema);
+  }
   if (base.quick != cur.quick) {
     std::string msg = "incomparable: baseline is ";
     msg.append(base.quick ? "quick" : "full");

@@ -1,0 +1,450 @@
+/// \file apf_estimate.cpp
+/// Adaptive Monte Carlo estimation CLI (docs/STATISTICS.md): runs seeded
+/// simulation trials in deterministic batches on the campaign pool,
+/// maintains streaming estimates of the success probability (Wilson /
+/// Clopper–Pearson), run cost, and random-bit consumption, and stops as
+/// soon as a sequential rule is satisfied — instead of guessing a fixed
+/// run count. With --ab it runs TWO arms (two algorithms) and prints the
+/// comparison gates (Newcombe interval on the success-rate difference,
+/// bound separation on the means).
+///
+/// Everything printed is deterministic: same options + seed produce a
+/// byte-identical apf.estimate.v1 document for any --jobs / APF_JOBS
+/// (CI's estimate-smoke job byte-compares them), and --journal/--resume
+/// replay a killed campaign to the same document.
+///
+/// Examples:
+///   apf_estimate --n 8 --sched async --half-width 0.05
+///   apf_estimate --ab --algo rsb --algo-b yy --chirality --sched async
+///   apf_estimate --journal est.journal ... ; apf_estimate --resume ...
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baseline/det_election.h"
+#include "baseline/yy.h"
+#include "config/generator.h"
+#include "core/form_pattern.h"
+#include "core/rsb.h"
+#include "core/scattering.h"
+#include "est/ab.h"
+#include "est/adaptive.h"
+#include "io/patterns.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/recorder.h"
+#include "sched/seed.h"
+#include "sim/engine.h"
+#include "sim/supervisor.h"
+#include "cli_parse.h"
+
+namespace {
+
+struct Options {
+  std::size_t n = 8;
+  std::string pattern = "star";
+  std::string startKind = "random";  // random | symmetric
+  std::string sched = "async";
+  std::string algo = "form";
+  std::string algoB = "yy";  // --ab second arm
+  bool ab = false;
+  std::uint64_t seed = 1;
+  double delta = 0.05;
+  std::uint64_t maxEvents = 1000000;
+  bool multiplicity = false;
+  bool commonChirality = false;
+  apf::est::StoppingOptions stop;
+  int jobs = 0;
+  std::string outPath;
+  std::string manifestPath;
+  std::string jsonlPath;
+  std::string journalPath;  // fresh journal (truncates)
+  std::string resumePath;   // resume an existing journal
+  bool quiet = false;
+};
+
+void usage() {
+  std::printf(
+      "apf_estimate — adaptive Monte Carlo estimation for APF campaigns\n"
+      "(sequential stopping + confidence intervals; docs/STATISTICS.md)\n\n"
+      "experiment:\n"
+      "  --n N              robots (default 8)\n"
+      "  --pattern NAME     target pattern (io/patterns.h names; default\n"
+      "                     star)\n"
+      "  --start KIND       random|symmetric start per trial (default\n"
+      "                     random)\n"
+      "  --sched S          fsync|ssync|async (default async)\n"
+      "  --algo A           form|rsb|yy|det|scatter-form (default form)\n"
+      "  --ab               two-arm mode: estimate --algo and --algo-b,\n"
+      "                     print comparison gates\n"
+      "  --algo-b A         second arm for --ab (default yy)\n"
+      "  --seed S           base seed; trial i uses sampleSeed(S, i)\n"
+      "  --delta D          adversary min-move distance (default 0.05)\n"
+      "  --max-events N     per-trial event cap (default 1e6)\n"
+      "  --multiplicity     enable multiplicity detection\n"
+      "  --chirality        give all robots a common chirality\n"
+      "stopping rule (evaluated at batch boundaries only):\n"
+      "  --batch N          samples per batch (default 16)\n"
+      "  --min-samples N    no early stop before N samples (default 32)\n"
+      "  --max-samples N    hard budget (default 512)\n"
+      "  --confidence P     interval confidence in (0, 1) (default 0.95)\n"
+      "  --half-width W     stop when the Wilson half-width on the success\n"
+      "                     rate reaches W; 0 disables (default 0.05)\n"
+      "  --futility P       stop when the Wilson upper bound falls below\n"
+      "                     P; 0 disables (default 0)\n"
+      "execution:\n"
+      "  --jobs N           campaign threads (0 = APF_JOBS/hardware); any\n"
+      "                     value prints the byte-identical report\n"
+      "  --journal F        crash-safe checkpoint journal (fresh file;\n"
+      "                     --ab appends .a/.b per arm)\n"
+      "  --resume F         resume from journal F (completed samples are\n"
+      "                     not re-run; report is byte-identical)\n"
+      "output:\n"
+      "  --out F            also write the JSON document to F\n"
+      "  --manifest F       write est.* manifest (apf_report ingests it)\n"
+      "  --jsonl F          write batch_scheduled/estimate_converged\n"
+      "                     events (JSONL)\n"
+      "  --quiet            JSON document only, no human summary\n");
+}
+
+double parseProb(const char* flag, const char* s) {
+  return apf::cli::parseProb("apf_estimate", flag, s);
+}
+
+std::uint64_t parseU64(const char* flag, const char* s) {
+  return apf::cli::parseU64("apf_estimate", flag, s);
+}
+
+bool parse(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "apf_estimate: missing value for %s\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--n") {
+      o.n = static_cast<std::size_t>(parseU64("--n", next("--n")));
+      if (o.n == 0) apf::cli::badValue("apf_estimate", "--n", "0",
+                                       "at least one robot");
+    } else if (a == "--pattern") {
+      o.pattern = next("--pattern");
+    } else if (a == "--start") {
+      o.startKind = next("--start");
+    } else if (a == "--sched") {
+      o.sched = next("--sched");
+    } else if (a == "--algo") {
+      o.algo = next("--algo");
+    } else if (a == "--algo-b") {
+      o.algoB = next("--algo-b");
+    } else if (a == "--ab") {
+      o.ab = true;
+    } else if (a == "--seed") {
+      o.seed = parseU64("--seed", next("--seed"));
+    } else if (a == "--delta") {
+      o.delta = apf::cli::parseNonNegative("apf_estimate", "--delta",
+                                           next("--delta"));
+    } else if (a == "--max-events") {
+      o.maxEvents = parseU64("--max-events", next("--max-events"));
+    } else if (a == "--multiplicity") {
+      o.multiplicity = true;
+    } else if (a == "--chirality") {
+      o.commonChirality = true;
+    } else if (a == "--batch") {
+      o.stop.batchSize = parseU64("--batch", next("--batch"));
+    } else if (a == "--min-samples") {
+      o.stop.minSamples = parseU64("--min-samples", next("--min-samples"));
+    } else if (a == "--max-samples") {
+      o.stop.maxSamples = parseU64("--max-samples", next("--max-samples"));
+    } else if (a == "--confidence") {
+      o.stop.confidence = apf::cli::parseConfidence(
+          "apf_estimate", "--confidence", next("--confidence"));
+    } else if (a == "--half-width") {
+      o.stop.targetHalfWidth = parseProb("--half-width", next("--half-width"));
+    } else if (a == "--futility") {
+      o.stop.futilityFloor = parseProb("--futility", next("--futility"));
+    } else if (a == "--jobs") {
+      o.jobs = static_cast<int>(parseU64("--jobs", next("--jobs")));
+    } else if (a == "--journal") {
+      o.journalPath = next("--journal");
+    } else if (a == "--resume") {
+      o.resumePath = next("--resume");
+    } else if (a == "--out") {
+      o.outPath = next("--out");
+    } else if (a == "--manifest") {
+      o.manifestPath = next("--manifest");
+    } else if (a == "--jsonl") {
+      o.jsonlPath = next("--jsonl");
+    } else if (a == "--quiet") {
+      o.quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "apf_estimate: unknown option: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<apf::sim::Algorithm> makeAlgorithm(const std::string& name,
+                                                   bool& multiplicity) {
+  using namespace apf;
+  if (name == "form") return std::make_unique<core::FormPatternAlgorithm>();
+  if (name == "rsb") return std::make_unique<core::RsbOnlyAlgorithm>();
+  if (name == "yy") return std::make_unique<baseline::YYAlgorithm>();
+  if (name == "det") {
+    return std::make_unique<baseline::DeterministicElection>();
+  }
+  if (name == "scatter-form") {
+    multiplicity = true;
+    return std::make_unique<core::ScatterThenForm>();
+  }
+  return nullptr;
+}
+
+/// Builds one arm's Trial closure: a pure function of (seed, index) — its
+/// own start configuration, its own Engine, nothing shared (the
+/// sim::runCampaign worker contract).
+apf::est::Trial makeTrial(const Options& o,
+                          const apf::config::Configuration& pattern,
+                          apf::sim::Algorithm& algo, bool multiplicity) {
+  using namespace apf;
+  sim::EngineOptions eopts;
+  eopts.maxEvents = o.maxEvents;
+  eopts.multiplicityDetection = multiplicity || o.multiplicity;
+  eopts.commonChirality = o.commonChirality;
+  eopts.sched.delta = o.delta;
+  const auto kind = sched::schedulerFromName(o.sched);
+  if (!kind) {
+    std::fprintf(stderr, "apf_estimate: unknown scheduler: %s\n",
+                 o.sched.c_str());
+    std::exit(2);
+  }
+  eopts.sched.kind = *kind;
+  const std::string startKind = o.startKind;
+  const std::size_t n = o.n;
+  return [eopts, startKind, n, pattern, &algo](
+             std::uint64_t seed, std::uint64_t) -> est::Sample {
+    config::Rng rng(seed + 7);
+    config::Configuration start;
+    if (startKind == "symmetric") {
+      const int rho = static_cast<int>(n) / 2;
+      start = config::symmetricConfiguration(rho > 1 ? rho : 2, 2, rng);
+    } else {
+      start = config::randomConfiguration(n, rng, 5.0, 0.1);
+    }
+    sim::EngineOptions opts = eopts;
+    opts.seed = seed;
+    sim::Engine engine(start, pattern, algo, opts);
+    const sim::RunResult res = engine.run();
+    est::Sample s;
+    s.success = res.success;
+    s.cycles = static_cast<double>(res.metrics.cycles);
+    s.events = static_cast<double>(res.metrics.events);
+    s.bits = res.metrics.randomBits;
+    return s;
+  };
+}
+
+/// Arm-defining options as a flat manifest; its JSON is the journal config
+/// key (resuming under ANY different option must be refused).
+apf::obs::Manifest armConfig(const Options& o, const std::string& label,
+                             std::uint64_t baseSeed) {
+  apf::obs::Manifest m;
+  m.set("campaign", "apf_estimate");
+  m.set("algo", label);
+  m.set("n", static_cast<std::uint64_t>(o.n));
+  m.set("pattern", o.pattern);
+  m.set("start", o.startKind);
+  m.set("sched", o.sched);
+  m.set("base_seed", baseSeed);
+  m.set("batch", o.stop.batchSize);
+  m.set("min_samples", o.stop.minSamples);
+  m.set("max_samples", o.stop.maxSamples);
+  m.set("confidence", o.stop.confidence);
+  m.set("half_width", o.stop.targetHalfWidth);
+  m.set("futility", o.stop.futilityFloor);
+  m.set("max_events", o.maxEvents);
+  m.set("delta", o.delta);
+  m.set("multiplicity", o.multiplicity);
+  m.set("chirality", o.commonChirality);
+  return m;
+}
+
+struct Arm {
+  std::string label;
+  apf::est::ArmEstimate estimate;
+};
+
+Arm runArm(const Options& o, const std::string& algoName,
+           std::uint64_t baseSeed, const std::string& journalSuffix,
+           apf::obs::Recorder* recorder) {
+  using namespace apf;
+  bool multiplicity = false;
+  std::unique_ptr<sim::Algorithm> algo = makeAlgorithm(algoName, multiplicity);
+  if (algo == nullptr) {
+    std::fprintf(stderr, "apf_estimate: unknown algorithm: %s\n",
+                 algoName.c_str());
+    std::exit(2);
+  }
+  const config::Configuration pattern =
+      io::patternByName(o.pattern, o.n, o.seed + 1000);
+
+  std::unique_ptr<sim::CampaignJournal> journal;
+  const bool resuming = !o.resumePath.empty();
+  const std::string jpath =
+      (resuming ? o.resumePath : o.journalPath) + journalSuffix;
+  if (jpath != journalSuffix) {  // a journal path was given
+    journal = std::make_unique<sim::CampaignJournal>(
+        jpath, armConfig(o, algo->name(), baseSeed).toJson(), resuming);
+  }
+
+  est::AdaptiveOptions aopts;
+  aopts.stop = o.stop;
+  aopts.baseSeed = baseSeed;
+  aopts.jobs = o.jobs;
+  aopts.recorder = recorder;
+  aopts.journal = journal.get();
+
+  Arm arm;
+  arm.label = algo->name();
+  arm.estimate = est::runAdaptive(algo->name(),
+                                  makeTrial(o, pattern, *algo, multiplicity),
+                                  aopts);
+  return arm;
+}
+
+void printHuman(const Arm& arm) {
+  using apf::est::Interval;
+  const apf::est::ArmEstimate& e = arm.estimate;
+  const Interval w = apf::est::wilson(e.success, e.confidence);
+  const Interval bits = apf::est::empiricalBernstein(e.bits, e.confidence);
+  std::printf(
+      "arm %-12s %llu/%llu samples in %llu batches, stop=%s%s\n"
+      "  success %llu/%llu = %.3f, wilson [%.3f, %.3f] @ %.0f%%\n"
+      "  bits mean %.1f, eb [%.1f, %.1f]; cycles mean %.1f; events mean "
+      "%.1f\n",
+      arm.label.c_str(), static_cast<unsigned long long>(e.samples),
+      static_cast<unsigned long long>(e.maxSamples),
+      static_cast<unsigned long long>(e.batches),
+      apf::est::stopReasonName(e.stopReason),
+      e.converged ? " (early)" : "",
+      static_cast<unsigned long long>(e.success.successes),
+      static_cast<unsigned long long>(e.success.trials), e.success.rate(),
+      w.lo, w.hi, 100.0 * e.confidence, e.bits.mean, bits.lo, bits.hi,
+      e.cycles.mean, e.events.mean);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace apf;
+  Options o;
+  if (!parse(argc, argv, o)) {
+    usage();
+    return 2;
+  }
+  try {
+    o.stop.validate();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "apf_estimate: %s\n", e.what());
+    return 2;
+  }
+  if (!o.journalPath.empty() && !o.resumePath.empty()) {
+    std::fprintf(stderr,
+                 "apf_estimate: --journal and --resume are exclusive\n");
+    return 2;
+  }
+
+  std::unique_ptr<obs::JsonlRecorder> sink;
+  if (!o.jsonlPath.empty()) {
+    sink = std::make_unique<obs::JsonlRecorder>(o.jsonlPath);
+  }
+
+  // Per-arm base seeds are derived, not shared: two arms must not reuse
+  // the same trial seeds (that would correlate them), and the derivation
+  // must be a pure function of --seed for reproducibility.
+  const std::uint64_t seedA = sched::sampleSeed(o.seed, 0);
+  const std::uint64_t seedB = sched::sampleSeed(o.seed, 1);
+
+  const Arm a = runArm(o, o.algo, seedA, o.ab ? ".a" : "", sink.get());
+  std::unique_ptr<Arm> b;
+  if (o.ab) {
+    b = std::make_unique<Arm>(runArm(o, o.algoB, seedB, ".b", sink.get()));
+  }
+  if (sink != nullptr) sink->flush();
+
+  // The apf.estimate.v1 document. No wall-clock, no thread counts:
+  // byte-identical across --jobs values and kill/resume (CI byte-compares).
+  obs::JsonObjectWriter top;
+  top.field("schema", "apf.estimate.v1");
+  top.field("n", static_cast<std::uint64_t>(o.n));
+  top.field("pattern", o.pattern);
+  top.field("start", o.startKind);
+  top.field("sched", o.sched);
+  top.field("seed", o.seed);
+  if (o.ab) {
+    top.rawField("a", a.estimate.toJson());
+    top.rawField("b", b->estimate.toJson());
+    top.rawField("ab", est::compareArms(a.estimate, b->estimate).toJson());
+  } else {
+    top.rawField("arm", a.estimate.toJson());
+  }
+  const std::string doc = top.str();
+
+  if (!o.outPath.empty()) {
+    obs::createParentDirs(o.outPath);
+    std::FILE* f = std::fopen(o.outPath.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "apf_estimate: cannot write %s\n",
+                   o.outPath.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", doc.c_str());
+    std::fclose(f);
+  }
+  if (!o.manifestPath.empty()) {
+    obs::Manifest m;
+    obs::addBuildInfo(m);
+    m.set("tool", "apf_estimate");
+    m.merge(armConfig(o, a.label, seedA));
+    if (o.ab) {
+      est::appendManifest(a.estimate, m, "est.a.");
+      est::appendManifest(b->estimate, m, "est.b.");
+    } else {
+      est::appendManifest(a.estimate, m);
+    }
+    m.write(o.manifestPath);
+  }
+
+  if (!o.quiet) {
+    printHuman(a);
+    if (o.ab) {
+      printHuman(*b);
+      const est::AbReport ab = est::compareArms(a.estimate, b->estimate);
+      std::printf(
+          "A/B (%s vs %s) @ %.0f%%:\n"
+          "  success diff %+.3f, newcombe [%+.3f, %+.3f] -> %s\n"
+          "  bits   diff %+.1f, bounds [%.1f, %.1f] vs [%.1f, %.1f] -> %s\n"
+          "  cycles diff %+.1f -> %s; events diff %+.1f -> %s\n",
+          a.label.c_str(), b->label.c_str(), 100.0 * ab.confidence,
+          ab.success.diff, ab.success.ci.lo, ab.success.ci.hi,
+          est::verdictName(ab.success.verdict), ab.bits.diff, ab.bits.a.lo,
+          ab.bits.a.hi, ab.bits.b.lo, ab.bits.b.hi,
+          est::verdictName(ab.bits.verdict), ab.cycles.diff,
+          est::verdictName(ab.cycles.verdict), ab.events.diff,
+          est::verdictName(ab.events.verdict));
+    }
+  }
+  std::printf("%s\n", doc.c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "apf_estimate: %s\n", e.what());
+  return 1;
+}

@@ -36,9 +36,11 @@
 #include <vector>
 
 #include "core/phases.h"
+#include "est/estimators.h"
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/stats.h"
+#include "cli_parse.h"
 
 namespace fs = std::filesystem;
 using apf::obs::JsonObject;
@@ -145,6 +147,24 @@ struct Report {
     std::size_t crashes = 0;
   };
   std::vector<ReproInfo> repros;
+  // Adaptive-estimation manifests (`est.*` keys; est/adaptive.h and
+  // docs/STATISTICS.md). One entry per arm found in a manifest.
+  struct EstimateInfo {
+    std::string label;
+    std::string stopReason;
+    bool converged = false;
+    std::uint64_t samples = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t maxSamples = 0;
+    double confidence = 0.0;
+    double successRate = 0.0;
+    double wilsonLo = 0.0;
+    double wilsonHi = 1.0;
+    double bitsMean = 0.0;
+    double bitsEbLo = 0.0;
+    double bitsEbHi = 0.0;
+  };
+  std::vector<EstimateInfo> estimates;
 };
 
 void ingestManifest(const fs::path& path, Report& rep) {
@@ -192,6 +212,41 @@ void ingestManifest(const fs::path& path, Report& rep) {
         static_cast<std::uint64_t>(num(m, "supervisor.timeouts_wall"));
     rep.supExceptions +=
         static_cast<std::uint64_t>(num(m, "supervisor.exceptions"));
+  }
+  // Adaptive-estimation arms (est::appendManifest). A manifest may carry
+  // several arms under distinct prefixes ("est.", "est.a.", "est.b.") —
+  // detect each by its `<prefix>samples` key.
+  for (const auto& [k, v] : m) {
+    constexpr const char* kSuffix = "samples";
+    if (k.rfind("est.", 0) != 0) continue;
+    if (k.size() <= std::strlen(kSuffix) ||
+        k.compare(k.size() - std::strlen(kSuffix), std::string::npos,
+                  kSuffix) != 0) {
+      continue;
+    }
+    const std::string prefix = k.substr(0, k.size() - std::strlen(kSuffix));
+    // `<prefix>max_samples` also ends in "samples" but is not an arm root.
+    if (prefix.size() >= 4 &&
+        prefix.compare(prefix.size() - 4, 4, "max_") == 0) {
+      continue;
+    }
+    auto pk = [&](const char* field) { return prefix + field; };
+    Report::EstimateInfo info;
+    info.label = str(m, pk("label").c_str(), "?");
+    info.stopReason = str(m, pk("stop_reason").c_str(), "?");
+    info.converged = boolean(m, pk("converged").c_str());
+    info.samples = static_cast<std::uint64_t>(v.asNumber(0.0));
+    info.batches = static_cast<std::uint64_t>(num(m, pk("batches").c_str()));
+    info.maxSamples =
+        static_cast<std::uint64_t>(num(m, pk("max_samples").c_str()));
+    info.confidence = num(m, pk("confidence").c_str());
+    info.successRate = num(m, pk("success_rate").c_str());
+    info.wilsonLo = num(m, pk("wilson_lo").c_str());
+    info.wilsonHi = num(m, pk("wilson_hi").c_str(), 1.0);
+    info.bitsMean = num(m, pk("bits_mean").c_str());
+    info.bitsEbLo = num(m, pk("bits_eb_lo").c_str());
+    info.bitsEbHi = num(m, pk("bits_eb_hi").c_str());
+    rep.estimates.push_back(std::move(info));
   }
   if (m.count("result.success") == 0) return;  // table manifest, not a run
   const std::string key = str(m, "algo") + " | " + str(m, "sched.kind") +
@@ -308,17 +363,28 @@ void ingestRepro(const fs::path& path, Report& rep) {
   rep.repros.push_back(std::move(info));
 }
 
-void printGroups(const Report& rep) {
+/// Wilson interval on a group's success rate at `confidence`
+/// (est/estimators.h — the same arithmetic the adaptive driver stops on).
+apf::est::Interval groupWilson(const Group& g, double confidence) {
+  apf::est::BernoulliSummary s;
+  s.trials = static_cast<std::uint64_t>(g.runs);
+  s.successes = static_cast<std::uint64_t>(g.successes);
+  return apf::est::wilson(s, confidence);
+}
+
+void printGroups(const Report& rep, double confidence) {
   std::printf("== runs (from %zu-group manifest set) ==\n",
               rep.groups.size());
-  std::printf("%-40s %5s %9s %9s %9s %11s %11s %9s\n", "group", "runs",
-              "success", "bits_mean", "bits_p95", "cycles_mean",
+  std::printf("%-40s %5s %9s %15s %9s %9s %11s %11s %9s\n", "group", "runs",
+              "success", "wilson", "bits_mean", "bits_p95", "cycles_mean",
               "events_mean", "b/c_max");
   for (const auto& [key, g] : rep.groups) {
-    std::printf("%-40s %5d %6d/%-2d %9.1f %9.0f %11.0f %11.0f %9.3f\n",
-                key.c_str(), g.runs, g.successes, g.runs, mean(g.bits),
-                percentile(g.bits, 0.95), mean(g.cycles), mean(g.events),
-                g.bitsPerCycleMax);
+    const apf::est::Interval w = groupWilson(g, confidence);
+    std::printf(
+        "%-40s %5d %6d/%-2d [%5.3f,%5.3f] %9.1f %9.0f %11.0f %11.0f %9.3f\n",
+        key.c_str(), g.runs, g.successes, g.runs, w.lo, w.hi, mean(g.bits),
+        percentile(g.bits, 0.95), mean(g.cycles), mean(g.events),
+        g.bitsPerCycleMax);
   }
   int runs = 0, ok = 0;
   for (const auto& [key, g] : rep.groups) {
@@ -446,6 +512,21 @@ void printSupervisor(const Report& rep) {
   }
 }
 
+void printEstimates(const Report& rep) {
+  if (rep.estimates.empty()) return;
+  std::printf("\n== adaptive estimation (docs/STATISTICS.md) ==\n");
+  std::printf("%-24s %9s %7s %11s %9s %15s %9s\n", "arm", "samples",
+              "batches", "stop", "rate", "wilson", "bits_mean");
+  for (const auto& e : rep.estimates) {
+    std::printf(
+        "%-24s %5llu/%-3llu %7llu %11s %9.3f [%5.3f,%5.3f] %9.1f\n",
+        e.label.c_str(), static_cast<unsigned long long>(e.samples),
+        static_cast<unsigned long long>(e.maxSamples),
+        static_cast<unsigned long long>(e.batches), e.stopReason.c_str(),
+        e.successRate, e.wilsonLo, e.wilsonHi, e.bitsMean);
+  }
+}
+
 void printEventLogs(const Report& rep) {
   if (rep.jsonlFiles == 0) return;
   std::printf("\n== event logs (%llu files) ==\n",
@@ -476,7 +557,12 @@ void printEventLogs(const Report& rep) {
 /// `verbose` prints the per-phase table (off in --json mode, where the
 /// verdict lands in the document instead).
 bool crossCheck(const Report& rep, bool verbose) {
-  if (rep.jsonlFiles == 0 || rep.phaseActivations.empty()) return true;
+  if (rep.jsonlFiles == 0) return true;
+  if (rep.phaseActivations.empty() && rep.supervisorManifests == 0 &&
+      rep.estimates.empty() && rep.faultRuns == 0 &&
+      rep.eventLogFaults == 0 && rep.eventLogCrashes == 0) {
+    return true;  // nothing to reconcile against the event logs
+  }
   if (verbose) {
     std::printf(
         "\n== cross-check: event log vs Metrics::phaseActivations ==\n");
@@ -518,6 +604,36 @@ bool crossCheck(const Report& rep, bool verbose) {
                   retryOk ? "OK" : "MISMATCH");
     }
   }
+  // Estimation accounting: the adaptive driver emits exactly one
+  // batch_scheduled event per batch it commits to and one
+  // estimate_converged per arm that stopped early (est/adaptive.h), so
+  // event counts must match the manifests' `est.*` tallies.
+  if (!rep.estimates.empty() && rep.jsonlFiles > 0) {
+    auto count = [&](const char* kind) -> std::uint64_t {
+      const auto it = rep.eventsByKind.find(kind);
+      return it == rep.eventsByKind.end() ? 0 : it->second;
+    };
+    std::uint64_t batches = 0;
+    std::uint64_t converged = 0;
+    for (const auto& e : rep.estimates) {
+      batches += e.batches;
+      converged += e.converged ? 1 : 0;
+    }
+    const bool batchOk = count("batch_scheduled") == batches;
+    const bool convOk = count("estimate_converged") == converged;
+    allOk = allOk && batchOk && convOk;
+    if (verbose) {
+      std::printf("%-18s manifests=%llu events=%llu %s\n", "est_batches",
+                  static_cast<unsigned long long>(batches),
+                  static_cast<unsigned long long>(count("batch_scheduled")),
+                  batchOk ? "OK" : "MISMATCH");
+      std::printf("%-18s manifests=%llu events=%llu %s\n", "est_converged",
+                  static_cast<unsigned long long>(converged),
+                  static_cast<unsigned long long>(
+                      count("estimate_converged")),
+                  convOk ? "OK" : "MISMATCH");
+    }
+  }
   // Fault accounting must agree too: every injected fault and every crash
   // appears exactly once in the event stream (obs/event.h contract).
   if (rep.faultRuns > 0 || rep.eventLogFaults > 0 || rep.eventLogCrashes > 0) {
@@ -540,17 +656,21 @@ bool crossCheck(const Report& rep, bool verbose) {
 
 /// Machine-readable report: one JSON object on stdout mirroring every
 /// section of the human output (see docs/OBSERVABILITY.md for the schema).
-void printJson(const Report& rep, bool consistent) {
+void printJson(const Report& rep, bool consistent, double confidence) {
   using apf::obs::JsonObjectWriter;
   JsonObjectWriter top;
   top.field("schema", "apf.report.v1");
+  top.field("confidence", confidence);
 
   std::string groups;
   for (const auto& [key, g] : rep.groups) {
+    const apf::est::Interval wilson = groupWilson(g, confidence);
     JsonObjectWriter w;
     w.field("group", key);
     w.field("runs", g.runs);
     w.field("successes", g.successes);
+    w.field("success_lo", wilson.lo);
+    w.field("success_hi", wilson.hi);
     w.field("terminated", g.terminated);
     w.field("bits_mean", mean(g.bits));
     w.field("bits_p95", percentile(g.bits, 0.95));
@@ -648,17 +768,44 @@ void printJson(const Report& rep, bool consistent) {
     w.rawField("repros", "[" + repros + "]");
     top.rawField("supervisor", w.str());
   }
+  if (!rep.estimates.empty()) {
+    std::string arms;
+    for (const auto& e : rep.estimates) {
+      JsonObjectWriter w;
+      w.field("label", e.label);
+      w.field("samples", e.samples);
+      w.field("batches", e.batches);
+      w.field("max_samples", e.maxSamples);
+      w.field("confidence", e.confidence);
+      w.field("stop_reason", e.stopReason);
+      w.field("converged", e.converged);
+      w.field("success_rate", e.successRate);
+      w.field("wilson_lo", e.wilsonLo);
+      w.field("wilson_hi", e.wilsonHi);
+      w.field("bits_mean", e.bitsMean);
+      w.field("bits_eb_lo", e.bitsEbLo);
+      w.field("bits_eb_hi", e.bitsEbHi);
+      if (!arms.empty()) arms += ",";
+      arms += w.str();
+    }
+    JsonObjectWriter w;
+    w.rawField("arms", "[" + arms + "]");
+    top.rawField("estimation", w.str());
+  }
   top.field("consistent", consistent);
   std::printf("%s\n", top.str().c_str());
 }
 
 int usage() {
   std::fprintf(stderr,
-               "usage: apf_report [--json] DIR\n"
+               "usage: apf_report [--json] [--confidence P] DIR\n"
                "  aggregates *.manifest.json and *.jsonl telemetry from\n"
                "  DIR (see docs/OBSERVABILITY.md)\n"
-               "  --json  print one machine-readable JSON object instead\n"
-               "          of the human report\n");
+               "  --json          print one machine-readable JSON object\n"
+               "                  instead of the human report\n"
+               "  --confidence P  level for the Wilson intervals on group\n"
+               "                  success rates, in (0, 1) (default 0.95;\n"
+               "                  see docs/STATISTICS.md)\n");
   return 2;
 }
 
@@ -666,10 +813,18 @@ int usage() {
 
 int main(int argc, char** argv) {
   bool json = false;
+  double confidence = 0.95;
   const char* dirArg = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--confidence") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "apf_report: missing value for --confidence\n");
+        return 2;
+      }
+      confidence =
+          apf::cli::parseConfidence("apf_report", "--confidence", argv[++i]);
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       return usage();
@@ -720,21 +875,22 @@ int main(int argc, char** argv) {
 
   if (rep.groups.empty() && rep.jsonlFiles == 0 &&
       rep.campaignManifests == 0 && rep.supervisorManifests == 0 &&
-      rep.repros.empty()) {
+      rep.repros.empty() && rep.estimates.empty()) {
     std::fprintf(stderr, "apf_report: no telemetry found in %s\n", dirArg);
     return usage();
   }
 
   if (json) {
     const bool consistent = crossCheck(rep, /*verbose=*/false);
-    printJson(rep, consistent);
+    printJson(rep, consistent, confidence);
     return consistent ? 0 : 1;
   }
-  printGroups(rep);
+  printGroups(rep, confidence);
   printBits(rep);
   printPhases(rep);
   printCampaign(rep);
   printSupervisor(rep);
+  printEstimates(rep);
   printFaults(rep);
   printEventLogs(rep);
   const bool consistent = crossCheck(rep, /*verbose=*/true);

@@ -51,6 +51,7 @@
 #include "sim/shrink.h"
 #include "sim/supervisor.h"
 #include "sim/trace.h"
+#include "cli_parse.h"
 
 namespace {
 
@@ -165,50 +166,28 @@ void usage() {
       "  --quiet            summary line only\n");
 }
 
-// Numeric argument parsing with validation: every flag rejects garbage,
-// trailing junk, and out-of-domain values with a clear message and exit
-// code 2 (usage error), instead of surfacing a bare std::stod exception.
+// Numeric argument parsing with validation (tools/cli_parse.h): every flag
+// rejects garbage, trailing junk, and out-of-domain values with a clear
+// message and exit code 2 (usage error).
 [[noreturn]] void badValue(const char* flag, const char* got,
                            const char* want) {
-  std::fprintf(stderr, "apf_sim: %s expects %s, got '%s'\n", flag, want, got);
-  std::exit(2);
+  apf::cli::badValue("apf_sim", flag, got, want);
 }
 
 double parseDouble(const char* flag, const char* s) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(s, &pos);
-    if (pos != std::strlen(s)) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    badValue(flag, s, "a number");
-  }
+  return apf::cli::parseDouble("apf_sim", flag, s);
 }
 
 double parseNonNegative(const char* flag, const char* s) {
-  const double v = parseDouble(flag, s);
-  if (v < 0.0 || !(v == v)) badValue(flag, s, "a non-negative number");
-  return v;
+  return apf::cli::parseNonNegative("apf_sim", flag, s);
 }
 
 double parseProb(const char* flag, const char* s) {
-  const double v = parseDouble(flag, s);
-  if (v < 0.0 || v > 1.0 || !(v == v)) {
-    badValue(flag, s, "a probability in [0, 1]");
-  }
-  return v;
+  return apf::cli::parseProb("apf_sim", flag, s);
 }
 
 std::uint64_t parseU64(const char* flag, const char* s) {
-  if (s[0] == '-') badValue(flag, s, "a non-negative integer");
-  try {
-    std::size_t pos = 0;
-    const std::uint64_t v = std::stoull(s, &pos);
-    if (pos != std::strlen(s)) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    badValue(flag, s, "a non-negative integer");
-  }
+  return apf::cli::parseU64("apf_sim", flag, s);
 }
 
 bool parse(int argc, char** argv, Options& o) {

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file cli_parse.h
+/// Loud numeric CLI parsing shared by the apf_* tools. Every flag rejects
+/// garbage, trailing junk, and out-of-domain values with a clear message
+/// and exit code 2 (usage error) instead of surfacing a bare std::stod
+/// exception — or worse, atof's silent 0.0, which once turned a mistyped
+/// threshold into "compare everything against zero".
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace apf::cli {
+
+[[noreturn]] inline void badValue(const char* tool, const char* flag,
+                                  const char* got, const char* want) {
+  std::fprintf(stderr, "%s: %s expects %s, got '%s'\n", tool, flag, want,
+               got);
+  std::exit(2);
+}
+
+inline double parseDouble(const char* tool, const char* flag, const char* s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != std::strlen(s)) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    badValue(tool, flag, s, "a number");
+  }
+}
+
+inline double parseNonNegative(const char* tool, const char* flag,
+                               const char* s) {
+  const double v = parseDouble(tool, flag, s);
+  if (v < 0.0 || !(v == v)) badValue(tool, flag, s, "a non-negative number");
+  return v;
+}
+
+/// Probability in the closed interval [0, 1].
+inline double parseProb(const char* tool, const char* flag, const char* s) {
+  const double v = parseDouble(tool, flag, s);
+  if (v < 0.0 || v > 1.0 || !(v == v)) {
+    badValue(tool, flag, s, "a probability in [0, 1]");
+  }
+  return v;
+}
+
+/// Confidence level in the OPEN interval (0, 1) — 0 and 1 make every
+/// interval degenerate or vacuous, so they are usage errors, not settings.
+inline double parseConfidence(const char* tool, const char* flag,
+                              const char* s) {
+  const double v = parseDouble(tool, flag, s);
+  if (!(v > 0.0 && v < 1.0)) {
+    badValue(tool, flag, s, "a confidence level in (0, 1)");
+  }
+  return v;
+}
+
+inline std::uint64_t parseU64(const char* tool, const char* flag,
+                              const char* s) {
+  if (s[0] == '-') badValue(tool, flag, s, "a non-negative integer");
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != std::strlen(s)) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    badValue(tool, flag, s, "a non-negative integer");
+  }
+}
+
+}  // namespace apf::cli
