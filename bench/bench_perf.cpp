@@ -10,11 +10,19 @@
 ///    an in-process determinism cross-check that both produce identical
 ///    aggregates;
 ///  * geometry microbenches: fresh Welzl SEC vs the memoized
-///    Configuration::sec() cache, and the Weiszfeld Weber point.
+///    Configuration::sec() cache, and the Weiszfeld Weber point;
+///  * engine hot loop: Engine::step() driven directly under a trivial
+///    always-move algorithm, reporting events_per_sec AND allocs_per_event
+///    (this binary links src/obs/alloc_hook.cpp, so obs::allocStats()
+///    counts every operator new). The scratch-buffer engine holds
+///    allocs_per_event at 0 in steady state; tools/apf_bench_diff gates the
+///    exact count so any new per-event allocation fails CI.
 ///
 /// Runs are capped by a fixed event budget so a workload is a bounded,
 /// deterministic amount of work whether or not individual runs converge.
 /// `--quick` shrinks every workload for the CI perf smoke job.
+
+#include <sys/resource.h>
 
 #include <cstring>
 #include <fstream>
@@ -26,6 +34,7 @@
 #include "core/rsb.h"
 #include "geom/sec.h"
 #include "geom/weber.h"
+#include "obs/alloc.h"
 #include "obs/json.h"
 #include "obs/stats.h"
 #include "sim/campaign.h"
@@ -46,13 +55,24 @@ struct WorkloadResult {
   /// Pool telemetry, present on parallel campaign rows only.
   bool hasPool = false;
   sim::CampaignStats pool;
+  /// Allocation accounting, present on engine hot-loop rows only.
+  bool hasAlloc = false;
+  std::uint64_t allocs = 0;       ///< operator-new calls in the timed region
+  double allocsPerEvent = 0.0;    ///< allocs / events (0 in steady state)
 };
 
 /// Order-independent campaign fingerprint for the determinism cross-check.
+/// Includes the geometry-cache counters: their per-run deltas are
+/// thread-confined (sim/metrics.h), so serial and pooled campaigns must
+/// agree on the sums too.
 struct Aggregate {
   std::uint64_t events = 0;
   std::uint64_t cycles = 0;
   std::uint64_t randomBits = 0;
+  std::uint64_t secCacheHits = 0;
+  std::uint64_t secCacheMisses = 0;
+  std::uint64_t weberCacheHits = 0;
+  std::uint64_t weberCacheMisses = 0;
   int successes = 0;
   bool operator==(const Aggregate&) const = default;
 };
@@ -99,10 +119,70 @@ Aggregate runWorkload(bool formation, std::size_t n, int runs,
         agg.events += res.metrics.events;
         agg.cycles += res.metrics.cycles;
         agg.randomBits += res.metrics.randomBits;
+        agg.secCacheHits += res.metrics.secCacheHits;
+        agg.secCacheMisses += res.metrics.secCacheMisses;
+        agg.weberCacheHits += res.metrics.weberCacheHits;
+        agg.weberCacheMisses += res.metrics.weberCacheMisses;
         agg.successes += res.success;
       },
       jobs, stats);
   return agg;
+}
+
+/// Always-move algorithm for the hot-loop row: one inline line segment per
+/// Compute, never terminates. Deliberately trivial so the measurement
+/// isolates the engine's own look/compute/move machinery (snapshot refresh,
+/// fault filters, scheduler bookkeeping) rather than algorithm geometry —
+/// exactly the code the scratch workspace made allocation-free.
+class DriftAlgorithm final : public sim::Algorithm {
+ public:
+  sim::Action compute(const sim::Snapshot&,
+                      sched::RandomSource&) const override {
+    sim::Action act;
+    act.path = geom::Path({0.0, 0.0});
+    act.path.lineTo({0.01, 0.0});
+    act.phaseTag = 1;
+    return act;
+  }
+  std::string name() const override { return "drift"; }
+};
+
+struct HotLoopResult {
+  double wallMs = 0.0;
+  std::uint64_t allocs = 0;
+};
+
+/// Drives Engine::step() for `events` scheduler events after a warmup that
+/// reaches buffer steady state (scratch capacities grown, per-robot
+/// snapshot storage in place), then reports wall time and the exact
+/// operator-new count of the measured region.
+HotLoopResult runHotLoop(std::size_t n, std::uint64_t events,
+                         bool withFaults) {
+  DriftAlgorithm drift;
+  config::Rng rng(90 + n);
+  const auto start = config::randomConfiguration(n, rng, 5.0, 0.1);
+  const auto pattern = io::starPattern(n);
+  sim::EngineOptions opts;
+  opts.seed = 1234;
+  opts.sched.kind = sched::SchedulerKind::Async;
+  if (withFaults) {
+    opts.fault.noiseSigma = 0.01;
+    opts.fault.omitProb = 0.02;
+    opts.fault.multFlipProb = 0.01;
+    opts.fault.dropProb = 0.02;
+    opts.fault.truncProb = 0.05;
+    opts.fault.seed = 7;
+  }
+  sim::Engine eng(start, pattern, drift, opts);
+  for (int w = 0; w < 4096; ++w) eng.step();
+  HotLoopResult out;
+  const obs::AllocStats before = obs::allocStats();
+  out.wallMs = timeMs([&] {
+    for (std::uint64_t e = 0; e < events; ++e) eng.step();
+  });
+  const obs::AllocStats after = obs::allocStats();
+  out.allocs = after.news - before.news;
+  return out;
 }
 
 }  // namespace
@@ -165,6 +245,9 @@ int main(int argc, char** argv) {
   // Pool behavior aggregated over every parallel campaign in the bench;
   // attached to the CSV manifest under campaign.* for apf_report.
   sim::CampaignStats poolTotal;
+  // Geometry-cache totals over every campaign run the bench executed
+  // (serial and pooled); surfaced as campaign.geom.* manifest keys.
+  Aggregate geomTotal;
   auto foldPool = [&](const sim::CampaignStats& s) {
     poolTotal.jobs = std::max(poolTotal.jobs, s.jobs);
     poolTotal.items += s.items;
@@ -207,6 +290,31 @@ int main(int argc, char** argv) {
     par.pool = poolStats;
     foldPool(poolStats);
     record(std::move(par));
+    geomTotal.secCacheHits += serialAgg.secCacheHits + parAgg.secCacheHits;
+    geomTotal.secCacheMisses +=
+        serialAgg.secCacheMisses + parAgg.secCacheMisses;
+    geomTotal.weberCacheHits +=
+        serialAgg.weberCacheHits + parAgg.weberCacheHits;
+    geomTotal.weberCacheMisses +=
+        serialAgg.weberCacheMisses + parAgg.weberCacheMisses;
+  }
+
+  // --- engine hot loop ----------------------------------------------------
+  // runs == scheduler events here, so runs_per_sec is events_per_sec and
+  // the standard throughput gate applies; allocs_per_event is additionally
+  // gated exactly (tools/apf_bench_diff) — steady state must stay at 0.
+  const std::uint64_t hotEvents = quick ? 20000 : 200000;
+  for (const bool withFaults : {false, true}) {
+    const HotLoopResult hot = runHotLoop(16, hotEvents, withFaults);
+    WorkloadResult w =
+        make(withFaults ? "engine_hot_loop_fault" : "engine_hot_loop", 16, 1,
+             static_cast<int>(hotEvents), hot.wallMs,
+             1000.0 * static_cast<double>(hotEvents) / hot.wallMs, 1.0);
+    w.hasAlloc = true;
+    w.allocs = hot.allocs;
+    w.allocsPerEvent =
+        static_cast<double>(hot.allocs) / static_cast<double>(hotEvents);
+    record(std::move(w));
   }
 
   // --- geometry microbenches ---------------------------------------------
@@ -240,10 +348,38 @@ int main(int argc, char** argv) {
                 1000.0 * weberIters / weberMs, 1.0));
   }
 
+  // Peak RSS (all workloads have run by now): memory regressions show up
+  // in the manifest and BENCH_perf.json even when throughput holds.
+  std::uint64_t peakRssKb = 0;
+  {
+    struct rusage ru {};
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+      peakRssKb = static_cast<std::uint64_t>(ru.ru_maxrss);  // KB on Linux
+    }
+  }
   sim::appendManifest(poolTotal, table.meta());
+  table.meta().set("campaign.geom.sec_cache_hits", geomTotal.secCacheHits);
+  table.meta().set("campaign.geom.sec_cache_misses",
+                   geomTotal.secCacheMisses);
+  table.meta().set("campaign.geom.weber_cache_hits",
+                   geomTotal.weberCacheHits);
+  table.meta().set("campaign.geom.weber_cache_misses",
+                   geomTotal.weberCacheMisses);
+  table.meta().set("bench.peak_rss_kb", peakRssKb);
   table.print();
   std::printf("(checksum %.3f, hardware_concurrency %u)\n", checksum,
               std::thread::hardware_concurrency());
+  for (const WorkloadResult& w : out) {
+    if (!w.hasAlloc) continue;
+    std::printf(
+        "%s: %.0f events/s, allocs_per_event %.6f (%llu allocs / %d "
+        "events)%s\n",
+        w.workload.c_str(), w.perSec, w.allocsPerEvent,
+        static_cast<unsigned long long>(w.allocs), w.runs,
+        obs::allocCountingActive() ? "" : " [alloc counting INACTIVE]");
+  }
+  std::printf("peak RSS: %llu KB\n",
+              static_cast<unsigned long long>(peakRssKb));
   std::printf(
       "campaign pool: jobs %d, utilization %.1f%%, mailbox hwm %llu, "
       "pending hwm %llu, merge stall %.1f ms\n",
@@ -270,6 +406,11 @@ int main(int argc, char** argv) {
       jw.field("pool_merge_stall_ms",
                static_cast<double>(w.pool.mergeStallNanos) / 1e6);
     }
+    if (w.hasAlloc) {
+      jw.field("events_per_sec", w.perSec);
+      jw.field("allocs", w.allocs);
+      jw.field("allocs_per_event", w.allocsPerEvent);
+    }
     if (!entries.empty()) entries += ",";
     entries += jw.str();
   }
@@ -280,9 +421,15 @@ int main(int argc, char** argv) {
             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   top.field("serial_jobs", 1);
   top.field("parallel_jobs", parJobs);
+  top.field("alloc_counting", obs::allocCountingActive());
+  top.field("peak_rss_kb", peakRssKb);
   {
     obs::Manifest cm;
     sim::appendManifest(poolTotal, cm);
+    cm.set("campaign.geom.sec_cache_hits", geomTotal.secCacheHits);
+    cm.set("campaign.geom.sec_cache_misses", geomTotal.secCacheMisses);
+    cm.set("campaign.geom.weber_cache_hits", geomTotal.weberCacheHits);
+    cm.set("campaign.geom.weber_cache_misses", geomTotal.weberCacheMisses);
     obs::JsonObjectWriter cw;
     for (const auto& [k, v] : cm.entries()) {
       // Strip the "campaign." prefix: the keys nest under one object here.

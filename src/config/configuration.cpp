@@ -3,10 +3,27 @@
 #include <algorithm>
 #include <limits>
 
+#include "geom/weber.h"
+
 namespace apf::config {
+
+GeomCacheCounters& geomCacheCounters() {
+  thread_local GeomCacheCounters counters;
+  return counters;
+}
+
+bool hasCoincidentPair(std::span<const Vec2> pts, const Tol& tol) {
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (geom::nearlyEqual(pts[i], pts[j], tol)) return true;
+    }
+  }
+  return false;
+}
 
 std::vector<MultiPoint> Configuration::grouped(const Tol& tol) const {
   std::vector<MultiPoint> out;
+  out.reserve(pts_.size());
   for (const Vec2& p : pts_) {
     auto it = std::find_if(out.begin(), out.end(), [&](const MultiPoint& m) {
       return geom::nearlyEqual(m.pos, p, tol);
@@ -21,7 +38,26 @@ std::vector<MultiPoint> Configuration::grouped(const Tol& tol) const {
 }
 
 bool Configuration::hasMultiplicity(const Tol& tol) const {
-  return grouped(tol).size() != pts_.size();
+  // Equivalent to grouped(tol).size() != pts_.size(), but allocation-free
+  // and early-exit. Equivalence: grouped() shrinks exactly when some point
+  // joins an earlier representative it is nearlyEqual to — i.e. when a
+  // coincident pair exists. Conversely if pts_[i] ~ pts_[j] (i < j), then at
+  // j's turn either pts_[i] is a representative (j joins it) or pts_[i]
+  // itself joined an earlier one (the set already shrank). Either way both
+  // predicates flip together, so the booleans agree for every tol.
+  return hasCoincidentPair(pts_, tol);
+}
+
+Vec2 Configuration::weberPoint() const {
+  auto& counters = geomCacheCounters();
+  if (!weberValid_) {
+    ++counters.weberMisses;
+    weberCache_ = geom::weberPoint(pts_);
+    weberValid_ = true;
+  } else {
+    ++counters.weberHits;
+  }
+  return weberCache_;
 }
 
 Configuration Configuration::without(std::size_t i) const {

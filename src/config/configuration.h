@@ -4,6 +4,7 @@
 /// A configuration P: the multiset of robot positions at some instant,
 /// expressed in some coordinate frame (global or a robot's local frame).
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -25,19 +26,44 @@ struct MultiPoint {
   int count = 1;
 };
 
+/// Hit/miss counters for Configuration's memoized geometry (sec() and
+/// weberPoint()). Thread-local — campaign workers are thread-confined, so a
+/// per-run delta of these counters is deterministic for any APF_JOBS (the
+/// engine folds that delta into sim::Metrics). The update is two non-atomic
+/// integer adds; the cached fast path stays branch-plus-increment cheap.
+struct GeomCacheCounters {
+  std::uint64_t secHits = 0;
+  std::uint64_t secMisses = 0;
+  std::uint64_t weberHits = 0;
+  std::uint64_t weberMisses = 0;
+};
+
+/// This thread's counters (mutable; reset by assigning {}).
+GeomCacheCounters& geomCacheCounters();
+
+/// True when some pair of points lies within tol of each other. Exactly the
+/// boolean `Configuration(pts).hasMultiplicity(tol)` computes (see the proof
+/// at Configuration::hasMultiplicity), but allocation-free and early-exit —
+/// the form the engine's per-event safety check and the fuzzer's incremental
+/// observer use on their live-point scratch buffers.
+bool hasCoincidentPair(std::span<const Vec2> pts,
+                       const Tol& tol = geom::kDefaultTol);
+
 /// A configuration of robot positions. Positions are stored in a stable
 /// order (index = robot identity inside the simulator; algorithms must not
 /// rely on indices, they are anonymous from the algorithm's viewpoint).
 /// Multiplicity points are represented by repeated positions.
 ///
-/// The smallest enclosing circle is memoized: `sec()` computes Welzl once
-/// and every mutation (non-const operator[], push_back) invalidates the
-/// cache. Because the cache is filled lazily from a const method, a
-/// Configuration instance is NOT safe to share across threads unless the
-/// cache is warmed (call `sec()` once) before the instance becomes shared —
-/// after warming, concurrent const access is read-only. Campaign workers
-/// (sim/campaign.h) therefore operate on their own copies; copies carry the
-/// warmed cache with them. See docs/PERFORMANCE.md.
+/// The smallest enclosing circle and the Weber point (geometric median) are
+/// memoized: `sec()` computes Welzl once, `weberPoint()` runs Weiszfeld
+/// once, and every mutation (non-const operator[], push_back, assign,
+/// releasePoints) invalidates both caches. Because the caches are filled
+/// lazily from const methods, a Configuration instance is NOT safe to share
+/// across threads unless the caches it will serve are warmed (call `sec()` /
+/// `weberPoint()` once) before the instance becomes shared — after warming,
+/// concurrent const access is read-only. Campaign workers (sim/campaign.h)
+/// therefore operate on their own copies; copies carry the warmed caches
+/// with them. See docs/PERFORMANCE.md.
 class Configuration {
  public:
   Configuration() = default;
@@ -45,17 +71,25 @@ class Configuration {
 
   Configuration(const Configuration&) = default;
   Configuration& operator=(const Configuration&) = default;
-  // Moves transfer the cache and reset the source's: the moved-from object
+  // Moves transfer the caches and reset the source's: the moved-from object
   // has an empty point set, which a stale cached circle would misdescribe.
   Configuration(Configuration&& o) noexcept
-      : pts_(std::move(o.pts_)), secCache_(o.secCache_), secValid_(o.secValid_) {
+      : pts_(std::move(o.pts_)),
+        secCache_(o.secCache_),
+        weberCache_(o.weberCache_),
+        secValid_(o.secValid_),
+        weberValid_(o.weberValid_) {
     o.secValid_ = false;
+    o.weberValid_ = false;
   }
   Configuration& operator=(Configuration&& o) noexcept {
     pts_ = std::move(o.pts_);
     secCache_ = o.secCache_;
+    weberCache_ = o.weberCache_;
     secValid_ = o.secValid_;
+    weberValid_ = o.weberValid_;
     o.secValid_ = false;
+    o.weberValid_ = false;
     return *this;
   }
 
@@ -64,26 +98,55 @@ class Configuration {
   const std::vector<Vec2>& points() const { return pts_; }
   std::span<const Vec2> span() const { return pts_; }
   const Vec2& operator[](std::size_t i) const { return pts_[i]; }
-  /// Mutable access conservatively invalidates the SEC cache: the caller
-  /// may write through the reference.
+  /// Mutable access conservatively invalidates the geometry caches: the
+  /// caller may write through the reference.
   Vec2& operator[](std::size_t i) {
     secValid_ = false;
+    weberValid_ = false;
     return pts_[i];
   }
   void push_back(Vec2 p) {
     secValid_ = false;
+    weberValid_ = false;
     pts_.push_back(p);
+  }
+
+  /// Replace the point set wholesale, adopting `pts`'s storage. Invalidates
+  /// both geometry caches. Pairs with releasePoints() so a caller that
+  /// refreshes a Configuration every cycle (the engine's snapshot path) can
+  /// recycle one vector's capacity instead of allocating each time.
+  void assign(std::vector<Vec2> pts) {
+    secValid_ = false;
+    weberValid_ = false;
+    pts_ = std::move(pts);
+  }
+
+  /// Move the point storage out, leaving this configuration empty (and both
+  /// caches invalid, since an empty set invalidates them by definition).
+  std::vector<Vec2> releasePoints() {
+    secValid_ = false;
+    weberValid_ = false;
+    return std::move(pts_);
   }
 
   /// Smallest enclosing circle C(P). Memoized; O(n) expected on the first
   /// call after a mutation, O(1) afterwards.
   Circle sec() const {
+    auto& counters = geomCacheCounters();
     if (!secValid_) {
+      ++counters.secMisses;
       secCache_ = geom::smallestEnclosingCircle(pts_);
       secValid_ = true;
+    } else {
+      ++counters.secHits;
     }
     return secCache_;
   }
+
+  /// Weber point (geometric median) of P. Memoized like sec(): Weiszfeld
+  /// runs once per mutation generation, O(1) afterwards. The paper's
+  /// embedding target for patterns with an invariant center.
+  Vec2 weberPoint() const;
 
   /// Distinct positions with multiplicities (tolerant grouping). Order is
   /// first-occurrence order.
@@ -112,7 +175,9 @@ class Configuration {
  private:
   std::vector<Vec2> pts_;
   mutable Circle secCache_;
+  mutable Vec2 weberCache_;
   mutable bool secValid_ = false;
+  mutable bool weberValid_ = false;
 };
 
 /// lP: the distance to `center` of the second-closest distinct distance ring.

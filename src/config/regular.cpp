@@ -129,7 +129,7 @@ std::optional<RegularSetInfo> checkRegularFreeCenter(const Configuration& p,
   std::vector<std::size_t> all(n);
   for (std::size_t i = 0; i < n; ++i) all[i] = i;
 
-  const Vec2 w = geom::weberPoint(p.span());
+  const Vec2 w = p.weberPoint();
   auto dirs = sortedDirections(p, all, w, tol);
   if (!dirs) return std::nullopt;
   // Loose classification first (the Weiszfeld center carries iteration

@@ -294,10 +294,10 @@ std::optional<ShiftedSetInfo> shiftedRegularSetOf(const Configuration& p,
   if (n < 4) return std::nullopt;
 
   // Candidate shifted robots: innermost ring around either plausible center.
-  // Both centers are hoisted out of the per-robot loops below: p.sec() is
-  // memoized by Configuration, and the Weber point (Weiszfeld iteration)
-  // used to be recomputed once per whole-grid candidate.
-  const Vec2 weberWhole = geom::weberPoint(p.span());
+  // Both centers are hoisted out of the per-robot loops below: p.sec() and
+  // p.weberPoint() are memoized by Configuration, so repeated calls across
+  // candidates cost one cache hit each.
+  const Vec2 weberWhole = p.weberPoint();
   const Vec2 centers[2] = {p.sec().center, weberWhole};
   std::vector<bool> isCandidate(n, false);
   for (const Vec2& c : centers) {

@@ -45,17 +45,20 @@ std::vector<std::int64_t> flatten(std::vector<Entry> entries) {
   return key;
 }
 
-}  // namespace
-
-View localView(const Configuration& p, std::size_t i, Vec2 center,
-               bool withMultiplicity, const Tol& tol) {
+// The grouping of p is view-independent, so allViews computes it once and
+// every robot's view is built from the shared copy (O(n^2) for all views
+// instead of O(n^2) *per view* with grouped()'s quadratic scan inside).
+View localViewGrouped(const Configuration& p, std::size_t i,
+                      const std::vector<MultiPoint>& groups, Vec2 center,
+                      bool withMultiplicity, const Tol& tol) {
   const Vec2 r = p[i];
   const double rDist = geom::dist(r, center);
   if (rDist <= tol.dist) return View{{}, 0, true};
   const double rArg = (r - center).arg();
 
-  const auto groups = p.grouped(tol);
   std::array<std::vector<Entry>, 2> seqs;  // [0] = ccw, [1] = cw
+  seqs[0].reserve(groups.size());
+  seqs[1].reserve(groups.size());
   for (const MultiPoint& g : groups) {
     const double d = geom::dist(g.pos, center);
     const std::int64_t rho = viewQuantize(d / rDist);
@@ -80,12 +83,21 @@ View localView(const Configuration& p, std::size_t i, Vec2 center,
   return View{std::move(keyCw), -1, false};
 }
 
+}  // namespace
+
+View localView(const Configuration& p, std::size_t i, Vec2 center,
+               bool withMultiplicity, const Tol& tol) {
+  return localViewGrouped(p, i, p.grouped(tol), center, withMultiplicity, tol);
+}
+
 std::vector<View> allViews(const Configuration& p, Vec2 center,
                            bool withMultiplicity, const Tol& tol) {
+  const auto groups = p.grouped(tol);
   std::vector<View> out;
   out.reserve(p.size());
   for (std::size_t i = 0; i < p.size(); ++i) {
-    out.push_back(localView(p, i, center, withMultiplicity, tol));
+    out.push_back(
+        localViewGrouped(p, i, groups, center, withMultiplicity, tol));
   }
   return out;
 }

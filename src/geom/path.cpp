@@ -25,11 +25,24 @@ Vec2 ArcSeg::endPoint() const {
   return {center.x + radius * std::cos(a), center.y + radius * std::sin(a)};
 }
 
+void Path::push(const PathSeg& seg) {
+  if (!overflow_.empty()) {
+    overflow_.push_back(seg);
+  } else if (count_ < kInlineSegs) {
+    inline_[count_] = seg;
+  } else {
+    overflow_.reserve(count_ + count_);
+    overflow_.assign(inline_.begin(), inline_.end());
+    overflow_.push_back(seg);
+  }
+  ++count_;
+}
+
 Path& Path::lineTo(Vec2 to) {
   LineSeg seg{end_, to};
   length_ += seg.length();
   end_ = to;
-  segs_.push_back(seg);
+  push(seg);
   return *this;
 }
 
@@ -39,14 +52,14 @@ Path& Path::arcAround(Vec2 center, double sweep) {
   ArcSeg seg{center, radius, startAngle, sweep};
   length_ += seg.length();
   end_ = seg.endPoint();
-  segs_.push_back(seg);
+  push(seg);
   return *this;
 }
 
 Vec2 Path::pointAt(double s) const {
-  if (segs_.empty()) return end_;
+  if (count_ == 0) return end_;
   s = std::clamp(s, 0.0, length_);
-  for (const auto& seg : segs_) {
+  for (const auto& seg : segments()) {
     const double len = std::visit([](const auto& g) { return g.length(); }, seg);
     if (s <= len) {
       return std::visit([s](const auto& g) { return g.pointAt(s); }, seg);
@@ -58,7 +71,7 @@ Vec2 Path::pointAt(double s) const {
 
 Path Path::transformed(const Similarity& t) const {
   Path out(t.apply(start_));
-  for (const auto& seg : segs_) {
+  for (const auto& seg : segments()) {
     if (const auto* line = std::get_if<LineSeg>(&seg)) {
       out.lineTo(t.apply(line->b));
     } else {

@@ -14,6 +14,8 @@
 /// (Property 2) require and what floating-point waypoint interpolation would
 /// not give.
 
+#include <array>
+#include <span>
 #include <variant>
 #include <vector>
 
@@ -45,8 +47,17 @@ struct ArcSeg {
 using PathSeg = std::variant<LineSeg, ArcSeg>;
 
 /// A polyline-with-arcs path; continuous by construction.
+///
+/// Storage is small-buffer optimized: the paper's movements chain at most
+/// three segments (e.g. cleanExterior: nudge inward, slide on a circle,
+/// move radially), so up to kInlineSegs segments live inline and a Path
+/// never touches the heap. Longer paths (no current producer makes one)
+/// spill into a vector transparently. This keeps the engine's
+/// Compute -> transform -> execute pipeline allocation-free.
 class Path {
  public:
+  static constexpr std::size_t kInlineSegs = 4;
+
   Path() = default;
   explicit Path(Vec2 start) : start_(start), end_(start) {}
 
@@ -58,7 +69,7 @@ class Path {
   Vec2 start() const { return start_; }
   Vec2 end() const { return end_; }
   double length() const { return length_; }
-  bool empty() const { return segs_.empty() || length_ <= 0.0; }
+  bool empty() const { return count_ == 0 || length_ <= 0.0; }
 
   /// Point at arclength s (clamped to [0, length]).
   Vec2 pointAt(double s) const;
@@ -67,13 +78,21 @@ class Path {
   /// under reflection; radii scale).
   Path transformed(const Similarity& t) const;
 
-  const std::vector<PathSeg>& segments() const { return segs_; }
+  std::span<const PathSeg> segments() const {
+    return overflow_.empty() ? std::span<const PathSeg>(inline_.data(), count_)
+                             : std::span<const PathSeg>(overflow_);
+  }
 
  private:
+  void push(const PathSeg& seg);
+
   Vec2 start_{};
   Vec2 end_{};
   double length_ = 0.0;
-  std::vector<PathSeg> segs_;
+  std::size_t count_ = 0;  ///< total segments (inline or spilled)
+  std::array<PathSeg, kInlineSegs> inline_{};
+  /// Non-empty only past kInlineSegs; then it holds ALL segments.
+  std::vector<PathSeg> overflow_;
 };
 
 }  // namespace apf::geom

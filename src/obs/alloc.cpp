@@ -1,0 +1,13 @@
+#include "obs/alloc.h"
+
+namespace apf::obs {
+
+// Weak fallbacks: linked into apf_obs so every target compiles, overridden
+// by the strong definitions in alloc_hook.cpp in executables that opt into
+// allocation counting. Weak symbols keep the choice a pure link-time one —
+// no macros, no build-flag coupling, zero cost when not opted in.
+__attribute__((weak)) bool allocCountingActive() { return false; }
+
+__attribute__((weak)) AllocStats allocStats() { return {}; }
+
+}  // namespace apf::obs

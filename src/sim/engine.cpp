@@ -49,6 +49,7 @@ Engine::Engine(Configuration start, Configuration pattern,
     crashFired_.assign(opts_.fault.crashes.size(), false);
     patternHasMultiplicity_ = pattern_.hasMultiplicity();
   }
+  scratch_.reserveFor(current_.size());
   recorder_ = opts_.recorder;
   timed_ = opts_.collectTimings || recorder_ != nullptr;
   startNanos_ = obs::nowNanos();
@@ -67,22 +68,24 @@ void Engine::emit(obs::Event ev) {
   recorder_->record(ev);
 }
 
-Snapshot Engine::takeSnapshot(std::size_t i) const {
-  const Robot& r = robots_[i];
+void Engine::refreshSnapshot(std::size_t i) {
+  Robot& r = robots_[i];
   const Vec2 self = current_[i];
-  std::vector<Vec2> local;
+  // Recycle the previous snapshot's own storage: release its vector, refill
+  // it, hand it back. After the first Look per robot this allocates nothing.
+  std::vector<Vec2> local = r.snap.robots.releasePoints();
+  local.clear();
   local.reserve(current_.size());
   for (const Vec2& p : current_.points()) local.push_back(r.frame.apply(p - self));
-  Snapshot snap;
-  snap.robots = Configuration(std::move(local));
-  snap.selfIndex = i;
+  r.snap.robots.assign(std::move(local));
+  r.snap.selfIndex = i;
   // The pattern is handed to every robot as the same raw coordinate list;
   // a robot with a reflected frame thereby "intends" the mirror image in
   // global terms, which the similarity-with-symmetry success criterion
-  // absorbs.
-  snap.pattern = pattern_;
-  snap.multiplicityDetection = opts_.multiplicityDetection;
-  return snap;
+  // absorbs. The pattern never changes mid-run, so the copy happens once
+  // per robot; the copy carries pattern_'s warmed geometry caches.
+  if (r.snap.pattern.empty()) r.snap.pattern = pattern_;
+  r.snap.multiplicityDetection = opts_.multiplicityDetection;
 }
 
 void Engine::applyPendingCrashes() {
@@ -135,8 +138,14 @@ void Engine::applyLookFaults(std::size_t i) {
   std::uniform_real_distribution<double> u(0.0, 1.0);
   std::normal_distribution<double> gauss(0.0, fp.noiseSigma);
   const auto& pts = r.snap.robots.points();
-  std::vector<Vec2> kept;
-  kept.reserve(pts.size());
+  // Build the filtered copy in the scratch spare, then swap it with the
+  // snapshot's storage below — two buffers ping-pong forever, zero
+  // steady-state allocations.
+  std::vector<Vec2> kept = std::move(scratch_.points);
+  kept.clear();
+  // +1: an over-count multiplicity flip appends one duplicate beyond the
+  // snapshot size; reserving for it keeps even flip events allocation-free.
+  kept.reserve(pts.size() + 1);
   std::size_t newSelf = 0;
   std::size_t omitted = 0;
   for (std::size_t j = 0; j < pts.size(); ++j) {
@@ -184,7 +193,8 @@ void Engine::applyLookFaults(std::size_t i) {
     flipped = true;
   }
   const bool noisy = fp.noiseSigma > 0.0 && kept.size() > 1;
-  r.snap.robots = config::Configuration(std::move(kept));
+  scratch_.points = r.snap.robots.releasePoints();
+  r.snap.robots.assign(std::move(kept));
   r.snap.selfIndex = newSelf;
   if (noisy) recordFault(i, obs::FaultKind::SensorNoise, fp.noiseSigma);
   if (omitted > 0) {
@@ -225,14 +235,12 @@ void Engine::checkLiveSafety() {
     if (current_.hasMultiplicity(tol)) safetyViolated_ = true;
     return;
   }
-  std::vector<Vec2> live;
-  live.reserve(current_.size());
+  auto& live = scratch_.live;
+  live.clear();
   for (std::size_t j = 0; j < robots_.size(); ++j) {
     if (!robots_[j].crashed) live.push_back(current_[j]);
   }
-  if (config::Configuration(std::move(live)).hasMultiplicity(tol)) {
-    safetyViolated_ = true;
-  }
+  if (config::hasCoincidentPair(live, tol)) safetyViolated_ = true;
 }
 
 Action Engine::computeFor(std::size_t i, sched::RandomSource& rng) {
@@ -252,7 +260,7 @@ void Engine::look(std::size_t i) {
   obs::ScopedSpan span("look", "engine", "robot",
                        static_cast<std::int64_t>(i));
   const std::uint64_t t0 = timed_ ? obs::nowNanos() : 0;
-  robots_[i].snap = takeSnapshot(i);
+  refreshSnapshot(i);
   robots_[i].snapVersion = configVersion_;
   robots_[i].phase = Phase::Observed;
   if (timed_) metrics_.lookTime.add(obs::nowNanos() - t0);
@@ -400,7 +408,8 @@ void Engine::fsyncRound() {
     look(i);
     ++live;
   }
-  std::vector<std::size_t> movers;
+  auto& movers = scratch_.movers;
+  movers.clear();
   for (std::size_t i = 0; i < robots_.size(); ++i) {
     if (robots_[i].crashed) continue;
     if (compute(i)) movers.push_back(i);
@@ -412,13 +421,14 @@ void Engine::fsyncRound() {
 void Engine::ssyncRound() {
   auto& adv = rng_.adversaryEngine();
   std::uniform_real_distribution<double> u(0.0, 1.0);
-  std::vector<std::size_t> liveIdx;
-  liveIdx.reserve(robots_.size());
+  auto& liveIdx = scratch_.liveIdx;
+  liveIdx.clear();
   for (std::size_t i = 0; i < robots_.size(); ++i) {
     if (!robots_[i].crashed) liveIdx.push_back(i);
   }
   if (liveIdx.empty()) return;
-  std::vector<std::size_t> active;
+  auto& active = scratch_.active;
+  active.clear();
   for (std::size_t i : liveIdx) {
     if (u(adv) < opts_.sched.activationProb ||
         robots_[i].sinceProgress > opts_.sched.fairnessBound) {
@@ -429,7 +439,8 @@ void Engine::ssyncRound() {
     active.push_back(liveIdx[adv() % liveIdx.size()]);
   }
   for (std::size_t i : active) look(i);
-  std::vector<std::size_t> movers;
+  auto& movers = scratch_.movers;
+  movers.clear();
   for (std::size_t i : active) {
     if (compute(i)) movers.push_back(i);
   }
@@ -460,8 +471,8 @@ std::size_t Engine::pickRobot(const std::vector<std::size_t>& eligible) {
 }
 
 void Engine::asyncEvent() {
-  std::vector<std::size_t> eligible;
-  eligible.reserve(robots_.size());
+  auto& eligible = scratch_.eligible;
+  eligible.clear();
   for (std::size_t i = 0; i < robots_.size(); ++i) {
     if (!robots_[i].crashed) eligible.push_back(i);
   }
@@ -563,12 +574,16 @@ bool Engine::liveSuccess() const {
   const std::size_t n = pattern_.size();
   const std::size_t f = crashedCount_;
   if (f >= n) return false;
-  std::vector<Vec2> livePts;
+  // Borrow scratch buffers; Configuration::assign/releasePoints shuttle
+  // their storage through the similarity checks without reallocating.
+  std::vector<Vec2> livePts = std::move(scratch_.live);
+  livePts.clear();
   livePts.reserve(n - f);
   for (std::size_t i = 0; i < robots_.size(); ++i) {
     if (!robots_[i].crashed) livePts.push_back(current_[i]);
   }
-  const Configuration live(std::move(livePts));
+  Configuration live;
+  live.assign(std::move(livePts));
   // The f crashed robots forfeit f pattern points, but which ones is the
   // adversary's secret: accept the live robots forming the pattern minus
   // ANY f-point subset. C(n, f) is tiny for the f <= 2 regime the
@@ -577,12 +592,20 @@ bool Engine::liveSuccess() const {
   for (std::size_t k = 0; k < f; ++k) {
     combos *= static_cast<double>(n - k) / static_cast<double>(k + 1);
   }
-  if (combos > 50000.0) return false;
+  if (combos > 50000.0) {
+    scratch_.live = live.releasePoints();
+    return false;
+  }
   const geom::Tol tol{1e-6, 1e-6};
-  std::vector<std::size_t> drop(f);
-  for (std::size_t k = 0; k < f; ++k) drop[k] = k;
-  while (true) {
-    std::vector<Vec2> reduced;
+  auto& drop = scratch_.drop;
+  drop.clear();
+  for (std::size_t k = 0; k < f; ++k) drop.push_back(k);
+  std::vector<Vec2> reduced = std::move(scratch_.reduced);
+  Configuration reducedCfg;
+  bool matched = false;
+  bool advanced = true;
+  while (advanced) {
+    reduced.clear();
     reduced.reserve(n - f);
     std::size_t di = 0;
     for (std::size_t j = 0; j < n; ++j) {
@@ -592,12 +615,13 @@ bool Engine::liveSuccess() const {
       }
       reduced.push_back(pattern_[j]);
     }
-    if (config::similar(live, Configuration(std::move(reduced)), tol)) {
-      return true;
-    }
+    reducedCfg.assign(std::move(reduced));
+    matched = config::similar(live, reducedCfg, tol);
+    reduced = reducedCfg.releasePoints();
+    if (matched) break;
     // Advance to the lexicographically next f-combination of [0, n).
     std::size_t k = f;
-    bool advanced = false;
+    advanced = false;
     while (k-- > 0) {
       if (drop[k] + (f - k) < n) {
         ++drop[k];
@@ -606,8 +630,10 @@ bool Engine::liveSuccess() const {
         break;
       }
     }
-    if (!advanced) return false;
   }
+  scratch_.live = live.releasePoints();
+  scratch_.reduced = std::move(reduced);
+  return matched;
 }
 
 bool Engine::step() {
@@ -634,6 +660,9 @@ RunResult Engine::run() {
   obs::ScopedSpan span("engine_run", "engine", "n",
                        static_cast<std::int64_t>(current_.size()));
   RunResult res;
+  // Per-run delta of the thread-local geometry-cache counters: the run is
+  // confined to this thread, so the delta is deterministic for any APF_JOBS.
+  const config::GeomCacheCounters countersBefore = config::geomCacheCounters();
   // With stochastic sensor faults quiescence is never inferred (see
   // compute()), so poll for pattern formation instead — throttled, since
   // similarity matching is much dearer than a scheduler event.
@@ -664,6 +693,12 @@ RunResult Engine::run() {
     res.outcome = Outcome::Stalled;
   }
   res.finalPositions = current_;
+  const config::GeomCacheCounters& countersNow = config::geomCacheCounters();
+  metrics_.secCacheHits = countersNow.secHits - countersBefore.secHits;
+  metrics_.secCacheMisses = countersNow.secMisses - countersBefore.secMisses;
+  metrics_.weberCacheHits = countersNow.weberHits - countersBefore.weberHits;
+  metrics_.weberCacheMisses =
+      countersNow.weberMisses - countersBefore.weberMisses;
   res.metrics = metrics_;
   if (recorder_) {
     obs::Event ev;
@@ -712,6 +747,10 @@ void appendResult(obs::Manifest& m, const RunResult& res) {
   m.set("result.stale.mean", mx.staleness.mean());
   m.set("result.stale.p95", mx.staleness.quantileUpperBound(0.95));
   m.set("result.stale.max", mx.staleness.max());
+  m.set("result.geom.sec_cache_hits", mx.secCacheHits);
+  m.set("result.geom.sec_cache_misses", mx.secCacheMisses);
+  m.set("result.geom.weber_cache_hits", mx.weberCacheHits);
+  m.set("result.geom.weber_cache_misses", mx.weberCacheMisses);
   for (const auto& [tag, count] : mx.phaseActivations) {
     m.set("result.phase." + std::to_string(tag) + ".activations", count);
   }

@@ -39,6 +39,7 @@
 #include "sched/scheduler.h"
 #include "sim/algorithm.h"
 #include "sim/metrics.h"
+#include "sim/scratch.h"
 
 namespace apf::obs {
 class Recorder;
@@ -162,7 +163,9 @@ class Engine {
   /// Callers must already have checked `recorder_ != nullptr`.
   void emit(obs::Event ev);
 
-  Snapshot takeSnapshot(std::size_t i) const;
+  /// Rebuilds robot i's snapshot in place, recycling the previous
+  /// snapshot's storage (allocation-free in steady state).
+  void refreshSnapshot(std::size_t i);
   /// Fires every planned crash whose event threshold has been reached.
   void applyPendingCrashes();
   /// Halts robot i forever, exactly where it stands (mid-path included).
@@ -202,6 +205,10 @@ class Engine {
   sched::RandomSource rng_;
   Metrics metrics_;
   Observer observer_;
+  /// Reusable hot-path buffers (sim/scratch.h). Mutable: const queries
+  /// (liveSuccess) borrow buffers too; the engine is single-threaded, so
+  /// the reuse never races.
+  mutable Scratch scratch_;
 
   obs::Recorder* recorder_ = nullptr;
   bool timed_ = false;

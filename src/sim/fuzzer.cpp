@@ -61,6 +61,10 @@ FuzzResult fuzzSchedules(const Algorithm& algo,
   // threads copying `start` into their engines read a stable cache.
   const double startSec = start.sec().radius;
   pattern.sec();  // warm for the same reason (engines copy `pattern` too)
+  // Warm the pattern's Weber cache too: every snapshot's pattern copy
+  // descends from this instance, so one Weiszfeld here serves the whole
+  // campaign (algorithms then hit the cache; same warm-before-share rule).
+  pattern.weberPoint();
   // Multiplicity in the TARGET is intended; anything else is a collision.
   const bool patternHasMultiplicity = pattern.hasMultiplicity();
 
@@ -105,6 +109,11 @@ FuzzResult fuzzSchedules(const Algorithm& algo,
     bool runCollided = false;
     geom::Circle liveSec;  // encloses all live robots once haveLiveSec
     bool haveLiveSec = false;
+    // Reused across observer invocations (the observer is run-confined):
+    // fills once per use, capacity persists, so the per-event safety check
+    // allocates nothing in steady state.
+    std::vector<geom::Vec2> liveBuf;
+    liveBuf.reserve(start.size());
 
     std::string& violation = rec.violation;
     eng.setObserver([&](const Engine& e, std::size_t robot) {
@@ -116,21 +125,21 @@ FuzzResult fuzzSchedules(const Algorithm& algo,
       if (liveCount < 2) return;
 
       const geom::Tol tol{1e-9, 1e-9};
-      auto livePoints = [&] {
-        std::vector<geom::Vec2> live;
-        live.reserve(liveCount);
+      auto livePoints = [&]() -> const std::vector<geom::Vec2>& {
+        liveBuf.clear();
         for (std::size_t j = 0; j < all.size(); ++j) {
-          if (!e.isCrashed(j)) live.push_back(all[j]);
+          if (!e.isCrashed(j)) liveBuf.push_back(all[j]);
         }
-        return live;
+        return liveBuf;
       };
 
       if (!patternHasMultiplicity && !runCollided) {
         bool collided = false;
         if (!baselineChecked) {
           // First position change of the run: establish the no-coincident-
-          // pair invariant over the whole live set once.
-          collided = config::Configuration(livePoints()).hasMultiplicity(tol);
+          // pair invariant over the whole live set once (pairwise scan ==
+          // hasMultiplicity's boolean, see config::hasCoincidentPair).
+          collided = config::hasCoincidentPair(livePoints(), tol);
           baselineChecked = true;
         } else {
           const geom::Vec2 p = all[robot];

@@ -50,6 +50,16 @@ struct Metrics {
   std::uint64_t faultsInjected = 0;
   /// Robots permanently halted by crash-stop faults.
   std::uint64_t crashed = 0;
+
+  // --- geometry-cache extensions ----------------------------------------
+  /// Hit/miss counts of Configuration's memoized sec()/weberPoint() during
+  /// this run (per-run delta of config::geomCacheCounters). Deterministic
+  /// for any APF_JOBS: the counters are thread-local and a run is confined
+  /// to one worker, so the delta depends only on the run itself.
+  std::uint64_t secCacheHits = 0;
+  std::uint64_t secCacheMisses = 0;
+  std::uint64_t weberCacheHits = 0;
+  std::uint64_t weberCacheMisses = 0;
 };
 
 /// How a run ended, beyond the boolean success/timeout pair: the outcome

@@ -1,0 +1,16 @@
+#include "sim/scratch.h"
+
+namespace apf::sim {
+
+void Scratch::reserveFor(std::size_t n) {
+  points.reserve(n + 1);
+  live.reserve(n);
+  reduced.reserve(n);
+  movers.reserve(n);
+  active.reserve(n);
+  liveIdx.reserve(n);
+  eligible.reserve(n);
+  drop.reserve(n);
+}
+
+}  // namespace apf::sim

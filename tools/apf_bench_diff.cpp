@@ -18,6 +18,11 @@
 /// A workload present in the baseline but missing from the current file is
 /// itself a regression (coverage loss); new workloads are informational.
 ///
+/// Rows carrying `allocs_per_event` (the engine hot-loop rows of
+/// bench_perf) are additionally gated exactly: any increase over the
+/// baseline count fails, with no noise floor — allocation counts are a
+/// deterministic property of the code, not the machine.
+///
 /// Exit codes: 0 = no regressions, 1 = regression(s), 2 = usage/parse
 /// error or incomparable inputs (quick-mode flag mismatch — quick runs cap
 /// per-run events at a quarter of full mode, so their throughput numbers
@@ -49,6 +54,9 @@ struct Row {
   double wallMs = 0.0;
   double perSec = 0.0;
   double speedup = 1.0;
+  /// Allocation count per event (engine hot-loop rows); negative when the
+  /// row carries no allocation accounting.
+  double allocsPerEvent = -1.0;
 };
 
 struct BenchDoc {
@@ -125,6 +133,7 @@ BenchDoc load(const std::string& path) {
     r.wallMs = num(w, "wall_ms");
     r.perSec = num(w, "runs_per_sec");
     r.speedup = num(w, "speedup_vs_serial", 1.0);
+    r.allocsPerEvent = num(w, "allocs_per_event", -1.0);
     out.rows.push_back(std::move(r));
   }
   return out;
@@ -207,12 +216,13 @@ int main(int argc, char** argv) {
   std::printf("baseline: %s\ncurrent:  %s\n", basePath.c_str(),
               curPath.c_str());
   std::printf("gate: fail when runs_per_sec < %.0f%% of baseline and "
-              "wall_ms >= %.1f in either file\n\n",
+              "wall_ms >= %.1f in either file, or when allocs_per_event "
+              "exceeds the baseline (exact, no floor)\n\n",
               100.0 * (1.0 - threshold), minWallMs);
 
   std::vector<std::vector<std::string>> rows;
-  rows.push_back({"workload", "base/s", "cur/s", "delta", "wall_ms",
-                  "verdict"});
+  rows.push_back({"workload", "base/s", "cur/s", "delta", "allocs/ev",
+                  "wall_ms", "verdict"});
   int regressions = 0;
   std::map<std::string, bool> seen;
   for (const Row& b : base.rows) {
@@ -220,8 +230,8 @@ int main(int argc, char** argv) {
     seen[key] = true;
     const auto it = current.find(key);
     if (it == current.end()) {
-      rows.push_back({key, fmt(b.perSec, 2), "-", "-", fmt(b.wallMs, 1),
-                      "MISSING"});
+      rows.push_back({key, fmt(b.perSec, 2), "-", "-", "-",
+                      fmt(b.wallMs, 1), "MISSING"});
       ++regressions;
       continue;
     }
@@ -230,23 +240,38 @@ int main(int argc, char** argv) {
     const double deltaPct = 100.0 * (ratio - 1.0);
     const bool aboveFloor = b.wallMs >= minWallMs || c.wallMs >= minWallMs;
     const bool regressed = ratio < 1.0 - threshold && aboveFloor;
+    // Allocation-count gate: exact, no noise floor. Allocation counts are
+    // a deterministic property of the code (not the machine), so ANY
+    // increase over the baseline is a regression — the whole point is to
+    // catch a single stray allocation sneaking back into the hot loop.
+    const bool gateAllocs = b.allocsPerEvent >= 0.0 && c.allocsPerEvent >= 0.0;
+    const bool allocsRegressed =
+        gateAllocs && c.allocsPerEvent > b.allocsPerEvent;
     std::string verdict = "ok";
-    if (regressed) {
-      verdict = "REGRESSED";
+    if (regressed || allocsRegressed) {
+      verdict = allocsRegressed && !regressed ? "ALLOCS-REGRESSED"
+                                              : "REGRESSED";
       ++regressions;
     } else if (!aboveFloor && ratio < 1.0 - threshold) {
       verdict = "noise";  // would fail, but both runs are below the floor
     }
     std::string delta = deltaPct >= 0 ? "+" : "";
     delta.append(fmt(deltaPct, 1)).append("%");
+    std::string allocCol = "-";
+    if (gateAllocs) {
+      allocCol = fmt(b.allocsPerEvent, 4);
+      allocCol.append(">").append(fmt(c.allocsPerEvent, 4));
+    }
     rows.push_back({key, fmt(b.perSec, 2), fmt(c.perSec, 2), delta,
-                    fmt(c.wallMs, 1), verdict});
+                    allocCol, fmt(c.wallMs, 1), verdict});
   }
   for (const Row& c : cur.rows) {
     const std::string key = keyOf(c);
     if (!seen.count(key)) {
-      rows.push_back({key, "-", fmt(c.perSec, 2), "-", fmt(c.wallMs, 1),
-                      "new"});
+      rows.push_back({key, "-", fmt(c.perSec, 2), "-",
+                      c.allocsPerEvent >= 0.0 ? fmt(c.allocsPerEvent, 4)
+                                              : std::string("-"),
+                      fmt(c.wallMs, 1), "new"});
     }
   }
 
