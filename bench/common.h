@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "cli/env.h"
 #include "config/configuration.h"
 #include "config/generator.h"
 #include "fault/fault.h"
@@ -66,10 +67,11 @@ struct RunSpec {
 /// directory (the repo checkout keeps the canonical copies there). Created
 /// on first use. Benches must never write to the repo root — stale
 /// root-level copies of results/*.csv kept forking the two locations.
+/// Environment parsing lives in cli::env() (src/cli/env.h), the one
+/// parsed-and-validated-once snapshot all tools and benches share.
 inline const std::string& resultsDir() {
   static const std::string dir = [] {
-    const char* v = std::getenv("APF_RESULTS_DIR");
-    std::string d = (v != nullptr && *v != '\0') ? v : "results";
+    const std::string& d = cli::env().resultsDir;
     std::filesystem::create_directories(d);
     return d;
   }();
@@ -87,27 +89,15 @@ inline std::string resultsPath(const std::string& file) {
 
 /// Telemetry directory from APF_OBS_DIR (nullptr = telemetry off).
 inline const char* obsDir() {
-  static const char* dir = std::getenv("APF_OBS_DIR");
-  return dir;
+  const std::string& d = cli::env().obsDir;
+  return d.empty() ? nullptr : d.c_str();
 }
 
 /// Whether to also write per-run JSONL event logs (APF_OBS_EVENTS=1).
-inline bool obsEvents() {
-  static const bool on = [] {
-    const char* v = std::getenv("APF_OBS_EVENTS");
-    return v != nullptr && v[0] != '\0' && v[0] != '0';
-  }();
-  return on;
-}
+inline bool obsEvents() { return cli::env().obsEvents; }
 
 /// Whether to capture a Chrome trace of the whole bench (APF_OBS_TRACE=1).
-inline bool obsTrace() {
-  static const bool on = [] {
-    const char* v = std::getenv("APF_OBS_TRACE");
-    return v != nullptr && v[0] != '\0' && v[0] != '0';
-  }();
-  return on;
-}
+inline bool obsTrace() { return cli::env().obsTrace; }
 
 /// RAII trace capture for a bench binary. When APF_OBS_TRACE=1, installs an
 /// obs::SpanCollector for the object's lifetime and writes

@@ -1,26 +1,15 @@
 #include "sim/campaign.h"
 
-#include <cstdio>
-#include <cstdlib>
+#include "cli/env.h"
 
 namespace apf::sim {
 
 int campaignJobs(int requested) {
   if (requested > 0) return requested > 512 ? 512 : requested;
-  if (const char* v = std::getenv("APF_JOBS"); v != nullptr && *v != '\0') {
-    char* end = nullptr;
-    const long parsed = std::strtol(v, &end, 10);
-    if (end != v && *end == '\0' && parsed >= 1) {
-      return parsed > 512 ? 512 : static_cast<int>(parsed);
-    }
-    // Garbage ("abc", "4x", "0", "-2") used to fall through silently, and a
-    // typo'd APF_JOBS=l6 quietly ran a different experiment. Warn once per
-    // resolution; the fallback itself is unchanged.
-    std::fprintf(stderr,
-                 "apf: ignoring unparsable APF_JOBS=\"%s\" "
-                 "(want an integer >= 1); using hardware concurrency\n",
-                 v);
-  }
+  // Deliberately re-reads the environment each call (tests vary APF_JOBS
+  // between campaigns within one process) via the shared parse-and-warn
+  // path in cli/env.h, instead of cli::env()'s once-per-process snapshot.
+  if (const int jobs = cli::jobsFromEnv(); jobs > 0) return jobs;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }

@@ -1,0 +1,235 @@
+#pragma once
+
+/// \file shard.h
+/// Multi-process sharded campaign execution behind a versioned wire API
+/// (docs/API.md, docs/RESILIENCE.md).
+///
+/// PR 3's thread pool tops out at one process on one machine, but the
+/// Monte Carlo campaigns validating the paper's ASYNC claims are
+/// embarrassingly parallel across runs. This layer splits a campaign's run
+/// indices into contiguous shards, hands each shard to a worker *process*
+/// (tools/apf_worker.cpp — spawned locally by the coordinator here, or
+/// placed on another machine by an external launcher via `--shard i/k`),
+/// and merges the per-shard journals back into one file.
+///
+/// The wire contract is ShardSpec (`apf.shard.v1`): everything a worker
+/// needs to execute any slice of the campaign — scenario (algorithm name,
+/// robot count, resolved pattern points, start recipe, scheduler), seeds,
+/// the base fault plan (fault::toJson), and the supervisor knobs
+/// (watchdog budgets, retry policy). The spec's canonical JSON doubles as
+/// the journal config key, so a worker started against the journal of a
+/// DIFFERENT campaign — or a spec from a future schema version — refuses
+/// loudly instead of merging garbage.
+///
+/// Determinism contract (tests/shard_test.cpp, tools/kill_resume_check.sh):
+///  * runShard(spec, algo, 0, spec.runs) is the single-process campaign:
+///    apf_sim's --campaign mode is implemented on it, so the sharded and
+///    unsharded paths cannot drift apart.
+///  * A run's payload depends only on (spec, global run index, attempt
+///    salt) — never on which shard or process executed it. Shard journals
+///    record GLOBAL run indices.
+///  * mergeShardJournals appends entries in ascending global index through
+///    the same CampaignJournal code path a single-process campaign uses,
+///    so the merged file is byte-identical to an `APF_JOBS=1` journal by
+///    construction — including after a worker or the coordinator was
+///    SIGKILLed and resumed.
+///  * Worker processes get supervisor-style treatment (wall-clock
+///    watchdog -> SIGKILL -> bounded retry -> shard quarantine). A
+///    relaunched worker resumes its shard journal, so retries re-run only
+///    the runs that never journaled.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/configuration.h"
+#include "fault/fault.h"
+#include "sched/scheduler.h"
+#include "sim/algorithm.h"
+#include "sim/supervisor.h"
+
+namespace apf::sim {
+
+/// Versioned wire description of a whole campaign (`apf.shard.v1`). Value
+/// semantics; `toJson`/`shardSpecFromJson` round-trip every field bit for
+/// bit (doubles via obs::jsonNumber, seeds via raw-token parsing), and
+/// re-encoding a decoded spec reproduces the exact same bytes — the
+/// fixed-point property the journal config key relies on.
+struct ShardSpec {
+  static constexpr const char* kSchema = "apf.shard.v1";
+
+  std::string algo = "form";     ///< algorithm name (apf_sim --algo spelling)
+  std::size_t n = 8;             ///< robots per run
+  /// Human label for the pattern ("star", a file path, ...). The points
+  /// below are authoritative; the label is bookkeeping for reports.
+  std::string patternLabel = "star";
+  config::Configuration pattern; ///< resolved target points (wire-embedded)
+  /// "random" | "symmetric": regenerated per run from the effective seed.
+  /// "points": the fixed `start` configuration below is used for every run.
+  std::string startKind = "random";
+  config::Configuration start;   ///< only meaningful for startKind "points"
+  sched::SchedulerKind sched = sched::SchedulerKind::Async;
+  std::uint64_t baseSeed = 1;    ///< run i executes with seed baseSeed + i
+  std::uint64_t runs = 1;
+  std::uint64_t maxEvents = 1000000;
+  double delta = 0.05;
+  bool multiplicity = false;
+  bool commonChirality = false;
+  /// Crash-stop faults: f victims re-drawn per run inside `crashHorizon`
+  /// events (fault::planWithRandomCrashes), matching apf_sim --crash.
+  int crashF = 0;
+  std::uint64_t crashHorizon = 2000;
+  /// Base fault plan: the sensor/compute knobs plus the fault-stream seed.
+  /// Per-run plans re-draw crash victims from the effective per-run seed
+  /// unless `faultSeedSet` pins `fault.seed` for every run.
+  fault::FaultPlan fault;
+  bool faultSeedSet = false;
+  // Supervisor knobs (per RUN, inside a worker; the coordinator's per
+  // WORKER watchdog lives in CoordinatorOptions).
+  std::uint64_t watchdogEvents = 0;
+  std::uint64_t watchdogMs = 0;
+  int retries = 2;
+};
+
+/// Canonical single-line JSON encoding (schema field first).
+std::string toJson(const ShardSpec& spec);
+/// Inverse of toJson. Unknown keys are ignored (forward compatibility
+/// within v1) but an unknown/missing schema string throws — a worker must
+/// never guess at a spec from a different wire version.
+ShardSpec shardSpecFromJson(std::string_view text);
+ShardSpec loadShardSpec(const std::string& path);
+/// Writes toJson() + newline, creating parent directories.
+void saveShardSpec(const std::string& path, const ShardSpec& spec);
+
+/// The journal config key: the spec's canonical JSON itself. Any spec
+/// difference — including a future schema bump — makes shard journals
+/// refuse to merge (CampaignJournal's config-mismatch check).
+std::string shardConfigKey(const ShardSpec& spec);
+
+/// Empty string when the spec is executable; otherwise a human-readable
+/// reason (pattern/robot count mismatch, crashF >= n, invalid plan, ...).
+std::string validateShardSpec(const ShardSpec& spec);
+
+/// Contiguous, balanced partition of [0, runs): shard `index` of `count`
+/// owns [lo, hi). Shards differ in size by at most one run and cover the
+/// range exactly.
+struct ShardRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t size() const { return hi - lo; }
+};
+ShardRange shardRange(std::uint64_t runs, unsigned index, unsigned count);
+
+/// The per-run supervisor policy encoded in the spec.
+SupervisorOptions shardSupervisorOptions(const ShardSpec& spec,
+                                         obs::Recorder* recorder = nullptr);
+
+/// Executes ONE run of the campaign: global index `runIndex`, retry salt
+/// folded in via `att`. Deterministic given (spec, runIndex, att.seedSalt)
+/// — the payload carries no wall-clock or process-identity fields, which
+/// is what makes sharded output byte-comparable. This is the exact worker
+/// apf_sim's --campaign mode always ran; see the .cpp for the
+/// field-by-field contract.
+std::string runScenarioPayload(const ShardSpec& spec, const Algorithm& algo,
+                               std::uint64_t runIndex, const Attempt& att);
+
+/// Runs the spec's global index range [lo, hi) under the supervisor,
+/// journaling (when `journal` is non-null) and reporting with GLOBAL run
+/// indices. Already-journaled runs replay without re-execution. When
+/// `payloads` is non-null it must have spec.runs slots; completed and
+/// replayed payloads land at their global index. jobs follows
+/// campaignJobs() resolution. The whole campaign is runShard(spec, algo,
+/// 0, spec.runs, ...).
+SupervisorReport runShard(const ShardSpec& spec, const Algorithm& algo,
+                          std::uint64_t lo, std::uint64_t hi,
+                          CampaignJournal* journal, obs::Recorder* recorder,
+                          int jobs = 0, CampaignStats* stats = nullptr,
+                          std::vector<std::string>* payloads = nullptr);
+
+/// Merges shard journals into `mergedPath`, appending entries in ascending
+/// global run index through the same CampaignJournal append path a
+/// single-process campaign uses — the merged file is byte-identical to an
+/// uninterrupted `APF_JOBS=1` journal of the same spec. Every shard
+/// journal must carry this spec's config key (throws otherwise). Returns
+/// the number of merged entries (quarantined runs have none).
+std::size_t mergeShardJournals(const ShardSpec& spec,
+                               const std::vector<std::string>& shardJournals,
+                               const std::string& mergedPath);
+
+/// How the coordinator launches and supervises worker processes.
+struct CoordinatorOptions {
+  /// Worker binary; empty = resolveWorkerPath("") (APF_WORKER, then next
+  /// to the current executable).
+  std::string workerPath;
+  unsigned shards = 4;
+  /// Scratch directory for the spec file, per-shard journals, reports, and
+  /// worker logs. Created if missing.
+  std::string workDir;
+  /// Thread-pool width inside each worker (default 1: process-level
+  /// parallelism is the point here).
+  int jobsPerWorker = 1;
+  /// Per-ATTEMPT wall deadline for a worker process; 0 = none. On expiry
+  /// the worker is SIGKILLed and retried — its shard journal survives, so
+  /// the retry re-runs only what never journaled.
+  std::uint64_t workerWallBudgetNanos = 0;
+  /// Process-level retry budget per shard (attempt 0 + maxRetries more).
+  int maxRetries = 2;
+  /// False: fresh campaign — stale shard journals in workDir are removed
+  /// first. True: resume — workers continue their shard journals, a
+  /// restarted coordinator re-runs nothing that already journaled.
+  bool resume = false;
+  /// Progress lines on stderr (never stdout — that belongs to the caller's
+  /// byte-compared output).
+  bool verbose = false;
+  /// Where the merged journal lands; empty = `<workDir>/merged.journal`.
+  std::string mergedJournalPath;
+};
+
+/// One worker-process attempt, classified like AttemptFailure but at
+/// process granularity.
+struct ShardAttempt {
+  int number = 0;
+  int exitCode = -1;     ///< process exit code; -1 when signaled
+  int termSignal = 0;    ///< terminating signal; 0 when exited
+  bool timedOut = false; ///< coordinator watchdog fired (SIGKILL)
+};
+
+/// Outcome of one shard: its range, every process attempt, and the
+/// worker's own SupervisorReport (parsed back from its report file).
+struct ShardOutcome {
+  unsigned index = 0;
+  ShardRange range;
+  bool ok = false;           ///< a worker attempt finished the shard
+  std::vector<ShardAttempt> attempts;
+  SupervisorReport report;   ///< zero-initialized when !ok
+  std::string journalPath;
+  std::string logPath;       ///< worker stdout+stderr capture
+};
+
+struct CoordinatorReport {
+  std::vector<ShardOutcome> shards;
+  /// Per-run aggregate: the absorbed worker reports, in shard order.
+  SupervisorReport runs;
+  std::string mergedJournalPath;
+  bool allShardsOk() const;
+};
+
+/// Worker binary resolution: `explicitPath` if non-empty, else APF_WORKER
+/// (cli::env()), else `apf_worker` next to the running executable, else
+/// `../tools/apf_worker` relative to it (bench binaries live in a sibling
+/// directory of tools/). Returns "" when nothing exists.
+std::string resolveWorkerPath(const std::string& explicitPath);
+
+/// The coordinator: writes the spec into workDir, launches one apf_worker
+/// per shard, supervises them (wall watchdog -> SIGKILL -> bounded retry
+/// -> shard quarantine), then merges the shard journals into
+/// `workDir/merged.journal` and absorbs the worker reports. Exit-code
+/// policy: 0/1 complete the attempt; 2 (usage/spec error) is fatal — no
+/// retry can fix a bad spec; 4 (shard journal locked by an orphan) and
+/// signals/crashes are retryable. Throws std::runtime_error when no
+/// worker binary can be resolved or the spec fails validation.
+CoordinatorReport runShardedCampaign(const ShardSpec& spec,
+                                     const CoordinatorOptions& opts);
+
+}  // namespace apf::sim

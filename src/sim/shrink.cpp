@@ -11,8 +11,6 @@
 
 namespace apf::sim {
 
-namespace {
-
 /// JSON `[[x,y],...]` with exact (shortest round-trip) coordinates.
 std::string pointsJson(const config::Configuration& c) {
   std::string out = "[";
@@ -31,8 +29,7 @@ std::string pointsJson(const config::Configuration& c) {
 config::Configuration pointsFromJson(const obs::JsonNode& node,
                                      const char* what) {
   if (node.kind != obs::JsonNode::Kind::Array) {
-    throw std::runtime_error(std::string("repro: ") + what +
-                             " is not an array");
+    throw std::runtime_error(std::string(what) + " is not an array");
   }
   std::vector<geom::Vec2> pts;
   pts.reserve(node.items.size());
@@ -40,15 +37,13 @@ config::Configuration pointsFromJson(const obs::JsonNode& node,
     if (p.kind != obs::JsonNode::Kind::Array || p.items.size() != 2 ||
         p.items[0].kind != obs::JsonNode::Kind::Number ||
         p.items[1].kind != obs::JsonNode::Kind::Number) {
-      throw std::runtime_error(std::string("repro: ") + what +
+      throw std::runtime_error(std::string(what) +
                                " entries must be [x,y] pairs");
     }
     pts.push_back({p.items[0].number, p.items[1].number});
   }
   return config::Configuration(std::move(pts));
 }
-
-}  // namespace
 
 ReplayResult replay(const ReproCase& c, const Algorithm& algo) {
   EngineOptions eopts;
@@ -170,8 +165,8 @@ ReproCase reproFromJson(std::string_view text) {
   if (start == nullptr || pattern == nullptr) {
     throw std::runtime_error("repro: missing start/pattern");
   }
-  c.start = pointsFromJson(*start, "start");
-  c.pattern = pointsFromJson(*pattern, "pattern");
+  c.start = pointsFromJson(*start, "repro: start");
+  c.pattern = pointsFromJson(*pattern, "repro: pattern");
   if (const obs::JsonNode* v = doc->find("seed")) c.seed = v->asU64(c.seed);
   if (const obs::JsonNode* v = doc->find("max_events")) {
     c.maxEvents = v->asU64(c.maxEvents);

@@ -23,6 +23,7 @@
 
 #include "config/configuration.h"
 #include "fault/fault.h"
+#include "obs/json.h"
 #include "sched/scheduler.h"
 #include "sim/algorithm.h"
 #include "sim/fuzzer.h"
@@ -76,6 +77,16 @@ ReproCase reproFromFailure(const std::string& algoName,
                            const config::Configuration& pattern,
                            const FuzzOptions& opts,
                            const FuzzFailure& failure);
+
+/// Exact configuration (de)serialization shared by every wire schema that
+/// embeds robot coordinates (apf.repro.v1, apf.shard.v1): a JSON
+/// `[[x,y],...]` array whose doubles use the shortest form that parses
+/// back bit-identical (obs::jsonNumber), so embedded configurations never
+/// perturb a replay. pointsFromJson throws std::runtime_error (prefixed
+/// with `what`) on anything that is not an array of [x,y] pairs.
+std::string pointsJson(const config::Configuration& c);
+config::Configuration pointsFromJson(const obs::JsonNode& node,
+                                     const char* what);
 
 /// Nested-JSON (de)serialization. Doubles use the shortest exact form and
 /// 64-bit seeds survive via raw-token parsing, so

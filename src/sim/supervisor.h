@@ -39,6 +39,7 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -197,11 +198,29 @@ struct SupervisorReport {
   void write(const std::string& path) const;
 };
 
+/// Inverse of SupervisorReport::toJson — the wire path a sharded
+/// coordinator absorbs worker-process reports through (sim/shard.h).
+/// Throws std::runtime_error on malformed input or a schema other than
+/// "apf.supervisor.v1" (cross-version reports must be refused loudly, not
+/// merged approximately).
+SupervisorReport supervisorReportFromJson(std::string_view text);
+/// Reads and parses a report file written by SupervisorReport::write.
+SupervisorReport loadSupervisorReport(const std::string& path);
+
 /// `supervisor.*` manifest keys (consumed by apf_report's resilience
 /// section). Options and report are serialized together so a manifest
 /// records both the policy and what it did.
 void appendManifest(const SupervisorOptions& opts,
                     const SupervisorReport& report, obs::Manifest& manifest);
+
+/// Resume-invariant variant: collapses the fresh-vs-replayed split into a
+/// single `supervisor.finished` key (their sum IS invariant) so a resumed
+/// or sharded campaign's manifest stays byte-identical to an
+/// uninterrupted single-process one — the same reasoning that keeps the
+/// split out of apf_sim's --json document.
+void appendManifestInvariant(const SupervisorOptions& opts,
+                             const SupervisorReport& report,
+                             obs::Manifest& manifest);
 
 /// Crash-safe campaign checkpoint: one fsync'd JSONL file. Line 1 is a
 /// header `{"journal":"apf.journal.v1","config":<key>}`; every later line

@@ -1,0 +1,83 @@
+/// \file cli_env_test.cpp
+/// Unit tests for the consolidated APF_* environment surface (src/cli/
+/// env.h): the jobs and boolean value parsers every tool and bench now
+/// goes through. The env() snapshot itself is covered indirectly — it is
+/// once-per-process, so its composition is exercised by the tool-level
+/// drills (tools/kill_resume_check.sh) rather than a unit fixture that
+/// would have to fork per case.
+
+#include <gtest/gtest.h>
+
+// The umbrella header (src/apf.h) is compile-checked here: this is the
+// cheapest test target, and the umbrella must always pull in the whole
+// public surface without conflicts.
+#include "apf.h"
+#include "cli/env.h"
+
+namespace apf::cli {
+namespace {
+
+TEST(CliEnvTest, ParseJobsValueAcceptsPositiveIntegers) {
+  EXPECT_EQ(parseJobsValue("1"), 1);
+  EXPECT_EQ(parseJobsValue("4"), 4);
+  EXPECT_EQ(parseJobsValue("512"), 512);
+}
+
+TEST(CliEnvTest, ParseJobsValueClampsTo512) {
+  EXPECT_EQ(parseJobsValue("513"), 512);
+  EXPECT_EQ(parseJobsValue("99999"), 512);
+}
+
+TEST(CliEnvTest, ParseJobsValueRejectsUnsetAndEmpty) {
+  EXPECT_EQ(parseJobsValue(nullptr), 0);
+  EXPECT_EQ(parseJobsValue(""), 0);
+}
+
+TEST(CliEnvTest, ParseJobsValueRejectsGarbage) {
+  // These are the historical silent-failure spellings: a typo'd value must
+  // resolve to 0 (caller falls back to hardware concurrency), never to a
+  // partially-parsed number.
+  EXPECT_EQ(parseJobsValue("l6"), 0);
+  EXPECT_EQ(parseJobsValue("abc"), 0);
+  EXPECT_EQ(parseJobsValue("4x"), 0);
+  EXPECT_EQ(parseJobsValue("4 "), 0);
+  EXPECT_EQ(parseJobsValue("0"), 0);
+  EXPECT_EQ(parseJobsValue("-2"), 0);
+}
+
+TEST(CliEnvTest, ParseBoolValueRecognizedFalseSpellings) {
+  EXPECT_FALSE(parseBoolValue("APF_TEST", nullptr));
+  EXPECT_FALSE(parseBoolValue("APF_TEST", ""));
+  EXPECT_FALSE(parseBoolValue("APF_TEST", "0"));
+  EXPECT_FALSE(parseBoolValue("APF_TEST", "false"));
+  EXPECT_FALSE(parseBoolValue("APF_TEST", "off"));
+  EXPECT_FALSE(parseBoolValue("APF_TEST", "no"));
+}
+
+TEST(CliEnvTest, ParseBoolValueRecognizedTrueSpellings) {
+  EXPECT_TRUE(parseBoolValue("APF_TEST", "1"));
+  EXPECT_TRUE(parseBoolValue("APF_TEST", "true"));
+  EXPECT_TRUE(parseBoolValue("APF_TEST", "on"));
+  EXPECT_TRUE(parseBoolValue("APF_TEST", "yes"));
+}
+
+TEST(CliEnvTest, ParseBoolValueUnrecognizedCountsAsEnabled) {
+  // The historical rule was v[0] != '0'; unknown spellings stay enabled
+  // (with a loud stderr warning) so APF_OBS_EVENTS=ture doesn't silently
+  // turn telemetry OFF — losing data is worse than extra data.
+  EXPECT_TRUE(parseBoolValue("APF_TEST", "ture"));
+  EXPECT_TRUE(parseBoolValue("APF_TEST", "2"));
+  EXPECT_TRUE(parseBoolValue("APF_TEST", "enabled"));
+}
+
+TEST(CliEnvTest, EnvSnapshotIsStable) {
+  // Two calls hand back the same object: the snapshot is parsed once per
+  // process, which is what makes its warnings fire exactly once.
+  const Env& a = env();
+  const Env& b = env();
+  EXPECT_EQ(&a, &b);
+  EXPECT_FALSE(a.resultsDir.empty());
+}
+
+}  // namespace
+}  // namespace apf::cli

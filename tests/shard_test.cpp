@@ -1,0 +1,406 @@
+/// \file shard_test.cpp
+/// The apf.shard.v1 wire contract and the sharded-execution determinism
+/// guarantees (src/sim/shard.h):
+///
+///  * ShardSpec round-trips through its canonical JSON, and re-encoding a
+///    decoded spec is a byte-level fixed point — the property the journal
+///    config key relies on.
+///  * A spec from a different wire version is refused loudly, never
+///    guessed at.
+///  * shardRange is a contiguous, balanced, exact partition of [0, runs).
+///  * A run's payload depends only on (spec, global index, attempt salt).
+///  * Merging shard journals yields a file byte-identical to the journal
+///    of a single-process run — on scripted (fixed points), fuzz (random
+///    starts), and fault-plan campaigns, serial and on a thread pool —
+///    and resuming a partially-journaled shard converges to the same
+///    bytes.
+///  * Journals of a different campaign refuse to merge.
+///
+/// The process-level coordinator (fork/exec, watchdogs, retries) is
+/// exercised end to end by tools/kill_resume_check.sh and the
+/// campaign_sharded bench row; these tests pin the in-process layers those
+/// drills build on.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "config/generator.h"
+#include "core/form_pattern.h"
+#include "io/patterns.h"
+#include "sim/shard.h"
+#include "sim/supervisor.h"
+
+namespace apf::sim {
+namespace {
+
+std::string readAll(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+std::string tempPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// "scripted" workload: every run starts from the same fixed points.
+ShardSpec scriptedSpec() {
+  ShardSpec s;
+  s.algo = "form";
+  s.n = 6;
+  s.patternLabel = "star";
+  s.pattern = io::starPattern(6);
+  s.startKind = "points";
+  config::Rng rng(77);
+  s.start = config::randomConfiguration(6, rng, 5.0, 0.1);
+  s.baseSeed = 11;
+  s.runs = 8;
+  s.maxEvents = 1500;
+  return s;
+}
+
+/// "fuzz" workload: a fresh random start per run, derived from the
+/// effective seed.
+ShardSpec fuzzSpec() {
+  ShardSpec s;
+  s.algo = "form";
+  s.n = 6;
+  s.patternLabel = "star";
+  s.pattern = io::starPattern(6);
+  s.startKind = "random";
+  s.baseSeed = 23;
+  s.runs = 8;
+  s.maxEvents = 1500;
+  return s;
+}
+
+/// "fault-plan" workload: crash-stop victims re-drawn per run plus sensor
+/// noise and truncation.
+ShardSpec faultSpec() {
+  ShardSpec s = fuzzSpec();
+  s.baseSeed = 31;
+  s.crashF = 1;
+  s.crashHorizon = 500;
+  s.fault.noiseSigma = 0.02;
+  s.fault.truncProb = 0.1;
+  return s;
+}
+
+// ------------------------------------------------------------------ wire --
+
+TEST(ShardSpecTest, RoundTripPreservesEveryField) {
+  ShardSpec s = faultSpec();
+  s.startKind = "points";
+  config::Rng rng(5);
+  s.start = config::randomConfiguration(6, rng, 5.0, 0.1);
+  s.sched = sched::SchedulerKind::SSync;
+  s.delta = 0.123456789012345;
+  s.multiplicity = true;
+  s.commonChirality = true;
+  s.faultSeedSet = true;
+  s.fault.seed = 99;
+  s.watchdogEvents = 50000;
+  s.watchdogMs = 1234;
+  s.retries = 5;
+
+  const ShardSpec d = shardSpecFromJson(toJson(s));
+  EXPECT_EQ(d.algo, s.algo);
+  EXPECT_EQ(d.n, s.n);
+  EXPECT_EQ(d.patternLabel, s.patternLabel);
+  EXPECT_EQ(d.pattern.size(), s.pattern.size());
+  EXPECT_EQ(d.startKind, s.startKind);
+  EXPECT_EQ(d.start.size(), s.start.size());
+  EXPECT_EQ(d.sched, s.sched);
+  EXPECT_EQ(d.baseSeed, s.baseSeed);
+  EXPECT_EQ(d.runs, s.runs);
+  EXPECT_EQ(d.maxEvents, s.maxEvents);
+  EXPECT_EQ(d.delta, s.delta);
+  EXPECT_EQ(d.multiplicity, s.multiplicity);
+  EXPECT_EQ(d.commonChirality, s.commonChirality);
+  EXPECT_EQ(d.crashF, s.crashF);
+  EXPECT_EQ(d.crashHorizon, s.crashHorizon);
+  EXPECT_EQ(d.fault.seed, s.fault.seed);
+  EXPECT_EQ(d.fault.noiseSigma, s.fault.noiseSigma);
+  EXPECT_EQ(d.fault.truncProb, s.fault.truncProb);
+  EXPECT_EQ(d.faultSeedSet, s.faultSeedSet);
+  EXPECT_EQ(d.watchdogEvents, s.watchdogEvents);
+  EXPECT_EQ(d.watchdogMs, s.watchdogMs);
+  EXPECT_EQ(d.retries, s.retries);
+}
+
+TEST(ShardSpecTest, EncodingIsAFixedPointProperty) {
+  // shardConfigKey IS toJson, so decode->encode must reproduce the exact
+  // bytes for ANY spec — sweep a family of field combinations, including
+  // doubles that need shortest-round-trip formatting.
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    ShardSpec s;
+    s.algo = (i % 2) != 0u ? "rsb" : "form";
+    s.n = 4 + (i % 5);
+    s.pattern = io::starPattern(s.n);
+    s.startKind = (i % 3) == 0 ? "points" : ((i % 3) == 1 ? "random"
+                                                          : "symmetric");
+    if (s.startKind == "points") {
+      config::Rng rng(100 + i);
+      s.start = config::randomConfiguration(s.n, rng, 5.0, 0.1);
+    }
+    s.baseSeed = i * 0x9E3779B97F4A7C15ull + 1;
+    s.runs = 1 + i;
+    s.delta = 0.05 + static_cast<double>(i) / 3.0;
+    s.multiplicity = (i % 2) != 0u;
+    s.crashF = static_cast<int>(i % 2);
+    s.fault.noiseSigma = static_cast<double>(i) / 7.0;
+    s.faultSeedSet = (i % 4) == 0;
+    s.fault.seed = i;
+    const std::string j1 = toJson(s);
+    const std::string j2 = toJson(shardSpecFromJson(j1));
+    EXPECT_EQ(j1, j2) << "spec " << i << " is not a re-encoding fixed point";
+  }
+}
+
+TEST(ShardSpecTest, StartPointsOnlyOnWireWhenAuthoritative) {
+  ShardSpec s = fuzzSpec();
+  config::Rng rng(3);
+  s.start = config::randomConfiguration(6, rng, 5.0, 0.1);  // stale scratch
+  // startKind is "random": the stale start must NOT appear on the wire,
+  // or two behaviorally identical specs would get different config keys.
+  EXPECT_EQ(toJson(s).find("\"start\""), std::string::npos);
+  EXPECT_NE(toJson(scriptedSpec()).find("\"start\""), std::string::npos);
+}
+
+TEST(ShardSpecTest, RefusesSpecsFromOtherWireVersions) {
+  std::string v2 = toJson(scriptedSpec());
+  const auto at = v2.find("apf.shard.v1");
+  ASSERT_NE(at, std::string::npos);
+  v2.replace(at, 12, "apf.shard.v2");
+  try {
+    shardSpecFromJson(v2);
+    FAIL() << "a v2 spec must be refused";
+  } catch (const std::runtime_error& e) {
+    // The refusal names both versions, so the operator can see the skew.
+    EXPECT_NE(std::string(e.what()).find("apf.shard.v2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("apf.shard.v1"), std::string::npos);
+  }
+}
+
+TEST(ShardSpecTest, RefusesMalformedAndSchemalessInput) {
+  EXPECT_THROW(shardSpecFromJson("not json"), std::runtime_error);
+  EXPECT_THROW(shardSpecFromJson("{\"algo\":\"form\"}"), std::runtime_error);
+  EXPECT_THROW(shardSpecFromJson("{\"shard\":\"apf.shard.v1\"}"),
+               std::runtime_error);  // no pattern points
+}
+
+TEST(ShardSpecTest, IgnoresUnknownKeysWithinV1) {
+  std::string j = toJson(scriptedSpec());
+  j.insert(j.size() - 1, ",\"future_knob\":42");
+  const ShardSpec d = shardSpecFromJson(j);  // must not throw
+  EXPECT_EQ(d.runs, scriptedSpec().runs);
+}
+
+TEST(ShardSpecTest, SaveLoadRoundTripsThroughDisk) {
+  const std::string path = tempPath("spec_roundtrip.json");
+  const ShardSpec s = faultSpec();
+  saveShardSpec(path, s);
+  EXPECT_EQ(toJson(loadShardSpec(path)), toJson(s));
+  EXPECT_EQ(shardConfigKey(s), toJson(s));
+}
+
+TEST(ShardSpecTest, ValidateCatchesInconsistentSpecs) {
+  EXPECT_EQ(validateShardSpec(scriptedSpec()), "");
+  EXPECT_EQ(validateShardSpec(faultSpec()), "");
+  ShardSpec bad = scriptedSpec();
+  bad.n = 7;  // pattern still has 6 points
+  EXPECT_NE(validateShardSpec(bad), "");
+  bad = scriptedSpec();
+  bad.startKind = "weird";
+  EXPECT_NE(validateShardSpec(bad), "");
+  bad = fuzzSpec();
+  bad.crashF = 6;  // no live robot left
+  EXPECT_NE(validateShardSpec(bad), "");
+  bad = fuzzSpec();
+  bad.runs = 0;
+  EXPECT_NE(validateShardSpec(bad), "");
+}
+
+// ------------------------------------------------------------ partition --
+
+TEST(ShardRangeTest, PartitionIsContiguousBalancedAndExact) {
+  for (const std::uint64_t runs : {0ull, 1ull, 5ull, 8ull, 64ull, 1001ull}) {
+    for (const unsigned count : {1u, 2u, 3u, 4u, 7u, 16u}) {
+      std::uint64_t covered = 0;
+      std::uint64_t minSize = runs + 1, maxSize = 0;
+      std::uint64_t expectLo = 0;
+      for (unsigned i = 0; i < count; ++i) {
+        const ShardRange r = shardRange(runs, i, count);
+        EXPECT_EQ(r.lo, expectLo) << runs << "/" << count << " shard " << i;
+        expectLo = r.hi;
+        covered += r.size();
+        minSize = std::min(minSize, r.size());
+        maxSize = std::max(maxSize, r.size());
+      }
+      EXPECT_EQ(expectLo, runs);
+      EXPECT_EQ(covered, runs);
+      EXPECT_LE(maxSize - minSize, 1u) << runs << "/" << count;
+    }
+  }
+}
+
+TEST(ShardRangeTest, RejectsOutOfRangeIndices) {
+  EXPECT_THROW(shardRange(10, 0, 0), std::runtime_error);
+  EXPECT_THROW(shardRange(10, 4, 4), std::runtime_error);
+}
+
+// ---------------------------------------------------------- determinism --
+
+TEST(ShardPayloadTest, PayloadDependsOnlyOnSpecIndexAndSalt) {
+  const ShardSpec spec = faultSpec();
+  core::FormPatternAlgorithm algo;
+  Attempt att;
+  const std::string p3 = runScenarioPayload(spec, algo, 3, att);
+  EXPECT_EQ(runScenarioPayload(spec, algo, 3, att), p3);
+  EXPECT_NE(runScenarioPayload(spec, algo, 4, att), p3);
+  Attempt salted;
+  salted.seedSalt = retrySeedSalt(2);
+  EXPECT_NE(runScenarioPayload(spec, algo, 3, salted), p3);
+}
+
+class ShardMergeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardMergeTest, MergedJournalIsByteIdenticalToSingleProcess) {
+  // The acceptance matrix: scripted / fuzz / fault-plan campaigns, each
+  // sharded 3 ways (uneven split of 8 runs) and merged, serially and on a
+  // 2-thread pool inside each shard.
+  const int jobs = GetParam();
+  const ShardSpec specs[] = {scriptedSpec(), fuzzSpec(), faultSpec()};
+  const char* names[] = {"scripted", "fuzz", "fault"};
+  core::FormPatternAlgorithm algo;
+  for (int k = 0; k < 3; ++k) {
+    const ShardSpec& spec = specs[k];
+    const std::string tag =
+        std::string(names[k]) + "_j" + std::to_string(jobs);
+    const std::string key = shardConfigKey(spec);
+
+    const std::string refPath = tempPath("ref_" + tag + ".journal");
+    {
+      CampaignJournal ref(refPath, key, /*resume=*/false);
+      const SupervisorReport rep =
+          runShard(spec, algo, 0, spec.runs, &ref, nullptr, jobs);
+      EXPECT_EQ(rep.completed, spec.runs);
+    }
+
+    std::vector<std::string> shardPaths;
+    for (unsigned i = 0; i < 3; ++i) {
+      const ShardRange range = shardRange(spec.runs, i, 3);
+      const std::string path =
+          tempPath("shard_" + tag + "_" + std::to_string(i) + ".journal");
+      CampaignJournal j(path, key, /*resume=*/false);
+      const SupervisorReport rep =
+          runShard(spec, algo, range.lo, range.hi, &j, nullptr, jobs);
+      EXPECT_EQ(rep.completed, range.size());
+      shardPaths.push_back(path);
+    }
+    const std::string mergedPath = tempPath("merged_" + tag + ".journal");
+    EXPECT_EQ(mergeShardJournals(spec, shardPaths, mergedPath), spec.runs);
+    EXPECT_EQ(readAll(mergedPath), readAll(refPath))
+        << names[k] << " merged journal differs from single-process";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialAndPooled, ShardMergeTest,
+                         ::testing::Values(1, 2));
+
+TEST(ShardResumeTest, ResumedJournalConvergesByteIdentical) {
+  const ShardSpec spec = fuzzSpec();
+  core::FormPatternAlgorithm algo;
+  const std::string key = shardConfigKey(spec);
+
+  const std::string refPath = tempPath("resume_ref.journal");
+  {
+    CampaignJournal ref(refPath, key, /*resume=*/false);
+    runShard(spec, algo, 0, spec.runs, &ref, nullptr, 1);
+  }
+
+  const std::string path = tempPath("resume_partial.journal");
+  {
+    // "Crash" after three runs: only [0, 3) ever journals.
+    CampaignJournal j(path, key, /*resume=*/false);
+    runShard(spec, algo, 0, 3, &j, nullptr, 1);
+  }
+  {
+    CampaignJournal j(path, key, /*resume=*/true);
+    const SupervisorReport rep =
+        runShard(spec, algo, 0, spec.runs, &j, nullptr, 1);
+    EXPECT_EQ(rep.replayed, 3u);
+    EXPECT_EQ(rep.completed, spec.runs - 3);
+  }
+  EXPECT_EQ(readAll(path), readAll(refPath));
+}
+
+TEST(ShardMergeTest2, RefusesJournalsOfADifferentCampaign) {
+  const ShardSpec spec = fuzzSpec();
+  ShardSpec other = fuzzSpec();
+  other.baseSeed = spec.baseSeed + 1;  // a DIFFERENT experiment
+  core::FormPatternAlgorithm algo;
+
+  const std::string path = tempPath("mismatch.journal");
+  {
+    CampaignJournal j(path, shardConfigKey(other), /*resume=*/false);
+    runShard(other, algo, 0, 2, &j, nullptr, 1);
+  }
+  EXPECT_THROW(
+      mergeShardJournals(spec, {path}, tempPath("mismatch_merged.journal")),
+      std::runtime_error);
+}
+
+// ------------------------------------------------------- report wire ----
+
+TEST(SupervisorReportWireTest, RoundTripsIncludingQuarantine) {
+  SupervisorReport r;
+  r.items = 10;
+  r.completed = 7;
+  r.replayed = 1;
+  r.retries = 3;
+  r.quarantined = 2;
+  r.timeoutsCycle = 1;
+  r.timeoutsWall = 1;
+  r.exceptions = 2;
+  QuarantinedItem q;
+  q.index = 4;
+  q.deterministic = true;
+  AttemptFailure f;
+  f.kind = FailureKind::Exception;
+  f.attempt = 1;
+  f.seedSalt = 42;
+  f.atCycles = 17;
+  f.message = "boom \"quoted\"";
+  q.attempts.push_back(f);
+  r.quarantine.push_back(q);
+
+  const SupervisorReport d = supervisorReportFromJson(r.toJson());
+  EXPECT_EQ(d.toJson(), r.toJson());  // decode->encode fixed point
+  ASSERT_EQ(d.quarantine.size(), 1u);
+  EXPECT_EQ(d.quarantine[0].index, 4u);
+  EXPECT_TRUE(d.quarantine[0].deterministic);
+  ASSERT_EQ(d.quarantine[0].attempts.size(), 1u);
+  EXPECT_EQ(d.quarantine[0].attempts[0].message, "boom \"quoted\"");
+}
+
+TEST(SupervisorReportWireTest, RefusesOtherSchemas) {
+  SupervisorReport r;
+  std::string j = r.toJson();
+  const auto at = j.find("apf.supervisor.v1");
+  ASSERT_NE(at, std::string::npos);
+  j.replace(at, 17, "apf.supervisor.v9");
+  EXPECT_THROW(supervisorReportFromJson(j), std::runtime_error);
+  EXPECT_THROW(supervisorReportFromJson("not json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace apf::sim

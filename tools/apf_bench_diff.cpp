@@ -65,29 +65,12 @@ struct BenchDoc {
   std::vector<Row> rows;
 };
 
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage: apf_bench_diff [options] BASELINE CURRENT\n"
-      "  BASELINE, CURRENT: BENCH_perf.json files (or directories\n"
-      "  containing one), as written by bench_perf\n"
-      "options:\n"
-      "  --threshold R     allowed runs_per_sec drop as a fraction of the\n"
-      "                    baseline (default 0.35; 0.35 = fail below 65%%\n"
-      "                    of baseline throughput)\n"
-      "  --min-wall-ms MS  noise floor: rows measured in under MS of wall\n"
-      "                    time in BOTH files are reported but never fail\n"
-      "                    the gate (default 5.0)\n"
-      "exit: 0 ok, 1 regression, 2 usage/parse/incomparable inputs\n");
-  return 2;
-}
-
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "apf_bench_diff: %s\n", msg.c_str());
   std::exit(2);
 }
 
-std::string resolvePath(const char* arg) {
+std::string resolvePath(const std::string& arg) {
   fs::path p(arg);
   std::error_code ec;
   if (fs::is_directory(p, ec)) p /= "BENCH_perf.json";
@@ -160,40 +143,32 @@ std::string fmt(double v, int prec) {
 int main(int argc, char** argv) {
   double threshold = 0.35;
   double minWallMs = 5.0;
-  std::vector<const char*> paths;
-  for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "apf_bench_diff: missing value for %s\n", a);
-        std::exit(usage());
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(a, "--threshold") == 0) {
-      // Loud parsing (tools/cli_parse.h): atof's silent 0.0 on a mistyped
-      // value would gate against the wrong threshold without a word.
-      threshold =
-          apf::cli::parseDouble("apf_bench_diff", "--threshold", next());
-      if (threshold <= 0.0 || threshold >= 1.0) {
-        die("--threshold must be in (0, 1)");
-      }
-    } else if (std::strcmp(a, "--min-wall-ms") == 0) {
-      minWallMs = apf::cli::parseNonNegative("apf_bench_diff",
-                                             "--min-wall-ms", next());
-    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
-      return usage();
-    } else if (a[0] == '-') {
-      std::fprintf(stderr, "apf_bench_diff: unknown option: %s\n", a);
-      return usage();
-    } else {
-      paths.push_back(a);
-    }
-  }
-  if (paths.size() != 2) return usage();
+  apf::cli::ArgParser args(
+      "apf_bench_diff",
+      "perf-regression gate: compares two bench JSON documents and exits\n"
+      "non-zero on regressions (docs/PERFORMANCE.md)");
+  // The threshold's (0, 1) domain matches Num::Confidence exactly — open
+  // at both ends, since 0 would fail on noise and 1 would never fail.
+  args.num("--threshold", &threshold, apf::cli::ArgParser::Num::Confidence,
+           "R",
+           "allowed runs_per_sec drop as a fraction of the\n"
+           "baseline (default 0.35; 0.35 = fail below 65%\n"
+           "of baseline throughput)");
+  args.num("--min-wall-ms", &minWallMs,
+           apf::cli::ArgParser::Num::NonNegative, "MS",
+           "noise floor: rows measured in under MS of wall\n"
+           "time in BOTH files are reported but never fail\n"
+           "the gate (default 5.0)");
+  args.positionals("BASELINE CURRENT",
+                   "bench JSON files (BENCH_perf.json / BENCH_estimate.json)"
+                   ",\nor directories containing a BENCH_perf.json",
+                   2, 2);
+  args.exitNotes(
+      " (1 = regression; 2 also covers\nincomparable inputs)");
+  args.parse(argc, argv);
 
-  const std::string basePath = resolvePath(paths[0]);
-  const std::string curPath = resolvePath(paths[1]);
+  const std::string basePath = resolvePath(args.pos()[0]);
+  const std::string curPath = resolvePath(args.pos()[1]);
   const BenchDoc base = load(basePath);
   const BenchDoc cur = load(curPath);
   if (base.schema != cur.schema) {

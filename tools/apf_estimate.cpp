@@ -23,12 +23,7 @@
 #include <memory>
 #include <string>
 
-#include "baseline/det_election.h"
-#include "baseline/yy.h"
 #include "config/generator.h"
-#include "core/form_pattern.h"
-#include "core/rsb.h"
-#include "core/scattering.h"
 #include "est/ab.h"
 #include "est/adaptive.h"
 #include "io/patterns.h"
@@ -38,12 +33,13 @@
 #include "sched/seed.h"
 #include "sim/engine.h"
 #include "sim/supervisor.h"
+#include "algo_select.h"
 #include "cli_parse.h"
 
 namespace {
 
 struct Options {
-  std::size_t n = 8;
+  std::uint64_t n = 8;
   std::string pattern = "star";
   std::string startKind = "random";  // random | symmetric
   std::string sched = "async";
@@ -65,147 +61,69 @@ struct Options {
   bool quiet = false;
 };
 
-void usage() {
-  std::printf(
-      "apf_estimate — adaptive Monte Carlo estimation for APF campaigns\n"
-      "(sequential stopping + confidence intervals; docs/STATISTICS.md)\n\n"
-      "experiment:\n"
-      "  --n N              robots (default 8)\n"
-      "  --pattern NAME     target pattern (io/patterns.h names; default\n"
-      "                     star)\n"
-      "  --start KIND       random|symmetric start per trial (default\n"
-      "                     random)\n"
-      "  --sched S          fsync|ssync|async (default async)\n"
-      "  --algo A           form|rsb|yy|det|scatter-form (default form)\n"
-      "  --ab               two-arm mode: estimate --algo and --algo-b,\n"
-      "                     print comparison gates\n"
-      "  --algo-b A         second arm for --ab (default yy)\n"
-      "  --seed S           base seed; trial i uses sampleSeed(S, i)\n"
-      "  --delta D          adversary min-move distance (default 0.05)\n"
-      "  --max-events N     per-trial event cap (default 1e6)\n"
-      "  --multiplicity     enable multiplicity detection\n"
-      "  --chirality        give all robots a common chirality\n"
-      "stopping rule (evaluated at batch boundaries only):\n"
-      "  --batch N          samples per batch (default 16)\n"
-      "  --min-samples N    no early stop before N samples (default 32)\n"
-      "  --max-samples N    hard budget (default 512)\n"
-      "  --confidence P     interval confidence in (0, 1) (default 0.95)\n"
-      "  --half-width W     stop when the Wilson half-width on the success\n"
-      "                     rate reaches W; 0 disables (default 0.05)\n"
-      "  --futility P       stop when the Wilson upper bound falls below\n"
-      "                     P; 0 disables (default 0)\n"
-      "execution:\n"
-      "  --jobs N           campaign threads (0 = APF_JOBS/hardware); any\n"
-      "                     value prints the byte-identical report\n"
-      "  --journal F        crash-safe checkpoint journal (fresh file;\n"
-      "                     --ab appends .a/.b per arm)\n"
-      "  --resume F         resume from journal F (completed samples are\n"
-      "                     not re-run; report is byte-identical)\n"
-      "output:\n"
-      "  --out F            also write the JSON document to F\n"
-      "  --manifest F       write est.* manifest (apf_report ingests it)\n"
-      "  --jsonl F          write batch_scheduled/estimate_converged\n"
-      "                     events (JSONL)\n"
-      "  --quiet            JSON document only, no human summary\n");
-}
+void registerFlags(apf::cli::ArgParser& args, Options& o) {
+  using apf::cli::ArgParser;
+  args.section("experiment");
+  args.u64("--n", &o.n, "N", "robots (default 8)", nullptr,
+           /*positive=*/true);
+  args.str("--pattern", &o.pattern, "NAME",
+           "target pattern (io/patterns.h names; default\nstar)");
+  args.str("--start", &o.startKind, "KIND",
+           "random|symmetric start per trial (default\nrandom)");
+  args.str("--sched", &o.sched, "S", "fsync|ssync|async (default async)");
+  args.str("--algo", &o.algo, "A",
+           std::string(apf::cli::algorithmNames()) + " (default form)");
+  args.flag("--ab", &o.ab,
+            "two-arm mode: estimate --algo and --algo-b,\n"
+            "print comparison gates");
+  args.str("--algo-b", &o.algoB, "A", "second arm for --ab (default yy)");
+  args.u64("--seed", &o.seed, "S",
+           "base seed; trial i uses sampleSeed(S, i)");
+  args.num("--delta", &o.delta, ArgParser::Num::NonNegative, "D",
+           "adversary min-move distance (default 0.05)");
+  args.u64("--max-events", &o.maxEvents, "N",
+           "per-trial event cap (default 1e6)");
+  args.flag("--multiplicity", &o.multiplicity,
+            "enable multiplicity detection");
+  args.flag("--chirality", &o.commonChirality,
+            "give all robots a common chirality");
 
-double parseProb(const char* flag, const char* s) {
-  return apf::cli::parseProb("apf_estimate", flag, s);
-}
+  args.section("stopping rule (evaluated at batch boundaries only)");
+  args.u64("--batch", &o.stop.batchSize, "N",
+           "samples per batch (default 16)");
+  args.u64("--min-samples", &o.stop.minSamples, "N",
+           "no early stop before N samples (default 32)");
+  args.u64("--max-samples", &o.stop.maxSamples, "N",
+           "hard budget (default 512)");
+  args.num("--confidence", &o.stop.confidence, ArgParser::Num::Confidence,
+           "P", "interval confidence in (0, 1) (default 0.95)");
+  args.num("--half-width", &o.stop.targetHalfWidth,
+           ArgParser::Num::Probability, "W",
+           "stop when the Wilson half-width on the success\n"
+           "rate reaches W; 0 disables (default 0.05)");
+  args.num("--futility", &o.stop.futilityFloor, ArgParser::Num::Probability,
+           "P",
+           "stop when the Wilson upper bound falls below\n"
+           "P; 0 disables (default 0)");
 
-std::uint64_t parseU64(const char* flag, const char* s) {
-  return apf::cli::parseU64("apf_estimate", flag, s);
-}
+  args.section("execution");
+  args.intNonNegative("--jobs", &o.jobs, "N",
+                      "campaign threads (0 = APF_JOBS/hardware); any\n"
+                      "value prints the byte-identical report");
+  args.str("--journal", &o.journalPath, "F",
+           "crash-safe checkpoint journal (fresh file;\n"
+           "--ab appends .a/.b per arm)");
+  args.str("--resume", &o.resumePath, "F",
+           "resume from journal F (completed samples are\n"
+           "not re-run; report is byte-identical)");
 
-bool parse(int argc, char** argv, Options& o) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&](const char* what) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "apf_estimate: missing value for %s\n", what);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (a == "--n") {
-      o.n = static_cast<std::size_t>(parseU64("--n", next("--n")));
-      if (o.n == 0) apf::cli::badValue("apf_estimate", "--n", "0",
-                                       "at least one robot");
-    } else if (a == "--pattern") {
-      o.pattern = next("--pattern");
-    } else if (a == "--start") {
-      o.startKind = next("--start");
-    } else if (a == "--sched") {
-      o.sched = next("--sched");
-    } else if (a == "--algo") {
-      o.algo = next("--algo");
-    } else if (a == "--algo-b") {
-      o.algoB = next("--algo-b");
-    } else if (a == "--ab") {
-      o.ab = true;
-    } else if (a == "--seed") {
-      o.seed = parseU64("--seed", next("--seed"));
-    } else if (a == "--delta") {
-      o.delta = apf::cli::parseNonNegative("apf_estimate", "--delta",
-                                           next("--delta"));
-    } else if (a == "--max-events") {
-      o.maxEvents = parseU64("--max-events", next("--max-events"));
-    } else if (a == "--multiplicity") {
-      o.multiplicity = true;
-    } else if (a == "--chirality") {
-      o.commonChirality = true;
-    } else if (a == "--batch") {
-      o.stop.batchSize = parseU64("--batch", next("--batch"));
-    } else if (a == "--min-samples") {
-      o.stop.minSamples = parseU64("--min-samples", next("--min-samples"));
-    } else if (a == "--max-samples") {
-      o.stop.maxSamples = parseU64("--max-samples", next("--max-samples"));
-    } else if (a == "--confidence") {
-      o.stop.confidence = apf::cli::parseConfidence(
-          "apf_estimate", "--confidence", next("--confidence"));
-    } else if (a == "--half-width") {
-      o.stop.targetHalfWidth = parseProb("--half-width", next("--half-width"));
-    } else if (a == "--futility") {
-      o.stop.futilityFloor = parseProb("--futility", next("--futility"));
-    } else if (a == "--jobs") {
-      o.jobs = static_cast<int>(parseU64("--jobs", next("--jobs")));
-    } else if (a == "--journal") {
-      o.journalPath = next("--journal");
-    } else if (a == "--resume") {
-      o.resumePath = next("--resume");
-    } else if (a == "--out") {
-      o.outPath = next("--out");
-    } else if (a == "--manifest") {
-      o.manifestPath = next("--manifest");
-    } else if (a == "--jsonl") {
-      o.jsonlPath = next("--jsonl");
-    } else if (a == "--quiet") {
-      o.quiet = true;
-    } else if (a == "--help" || a == "-h") {
-      usage();
-      std::exit(0);
-    } else {
-      std::fprintf(stderr, "apf_estimate: unknown option: %s\n", a.c_str());
-      return false;
-    }
-  }
-  return true;
-}
-
-std::unique_ptr<apf::sim::Algorithm> makeAlgorithm(const std::string& name,
-                                                   bool& multiplicity) {
-  using namespace apf;
-  if (name == "form") return std::make_unique<core::FormPatternAlgorithm>();
-  if (name == "rsb") return std::make_unique<core::RsbOnlyAlgorithm>();
-  if (name == "yy") return std::make_unique<baseline::YYAlgorithm>();
-  if (name == "det") {
-    return std::make_unique<baseline::DeterministicElection>();
-  }
-  if (name == "scatter-form") {
-    multiplicity = true;
-    return std::make_unique<core::ScatterThenForm>();
-  }
-  return nullptr;
+  args.section("output");
+  args.str("--out", &o.outPath, "F", "also write the JSON document to F");
+  args.str("--manifest", &o.manifestPath, "F",
+           "write est.* manifest (apf_report ingests it)");
+  args.str("--jsonl", &o.jsonlPath, "F",
+           "write batch_scheduled/estimate_converged\nevents (JSONL)");
+  args.flag("--quiet", &o.quiet, "JSON document only, no human summary");
 }
 
 /// Builds one arm's Trial closure: a pure function of (seed, index) — its
@@ -228,7 +146,7 @@ apf::est::Trial makeTrial(const Options& o,
   }
   eopts.sched.kind = *kind;
   const std::string startKind = o.startKind;
-  const std::size_t n = o.n;
+  const auto n = static_cast<std::size_t>(o.n);
   return [eopts, startKind, n, pattern, &algo](
              std::uint64_t seed, std::uint64_t) -> est::Sample {
     config::Rng rng(seed + 7);
@@ -287,10 +205,11 @@ Arm runArm(const Options& o, const std::string& algoName,
            apf::obs::Recorder* recorder) {
   using namespace apf;
   bool multiplicity = false;
-  std::unique_ptr<sim::Algorithm> algo = makeAlgorithm(algoName, multiplicity);
+  std::unique_ptr<sim::Algorithm> algo =
+      cli::makeAlgorithm(algoName, multiplicity);
   if (algo == nullptr) {
-    std::fprintf(stderr, "apf_estimate: unknown algorithm: %s\n",
-                 algoName.c_str());
+    std::fprintf(stderr, "apf_estimate: unknown algorithm: %s (want %s)\n",
+                 algoName.c_str(), cli::algorithmNames());
     std::exit(2);
   }
   const config::Configuration pattern =
@@ -346,10 +265,12 @@ void printHuman(const Arm& arm) {
 int main(int argc, char** argv) try {
   using namespace apf;
   Options o;
-  if (!parse(argc, argv, o)) {
-    usage();
-    return 2;
-  }
+  cli::ArgParser args(
+      "apf_estimate",
+      "adaptive Monte Carlo estimation for APF campaigns\n"
+      "(sequential stopping + confidence intervals; docs/STATISTICS.md)");
+  registerFlags(args, o);
+  args.parse(argc, argv);
   try {
     o.stop.validate();
   } catch (const std::exception& e) {

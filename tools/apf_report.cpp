@@ -40,6 +40,7 @@
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/stats.h"
+#include "cli/env.h"
 #include "cli_parse.h"
 
 namespace fs = std::filesystem;
@@ -131,8 +132,7 @@ struct Report {
   // and docs/RESILIENCE.md).
   int supervisorManifests = 0;
   std::uint64_t supItems = 0;
-  std::uint64_t supCompleted = 0;
-  std::uint64_t supReplayed = 0;
+  std::uint64_t supFinished = 0;
   std::uint64_t supRetries = 0;
   std::uint64_t supQuarantined = 0;
   std::uint64_t supTimeoutsCycle = 0;
@@ -194,14 +194,16 @@ void ingestManifest(const fs::path& path, Report& rep) {
         static_cast<std::uint64_t>(num(m, "campaign.merge_nanos"));
   }
   if (m.count("supervisor.items") != 0) {
-    // Supervised-campaign manifest (sim::appendManifest); may coexist with
-    // campaign.* pool keys on the same bench manifest.
+    // Supervised-campaign manifest; may coexist with campaign.* pool keys
+    // on the same bench manifest. Resume/shard-invariant manifests
+    // (sim::appendManifestInvariant) carry `supervisor.finished`; older
+    // ones (sim::appendManifest) split it into completed + replayed — the
+    // sum is the same quantity either way.
     rep.supervisorManifests += 1;
     rep.supItems += static_cast<std::uint64_t>(num(m, "supervisor.items"));
-    rep.supCompleted +=
-        static_cast<std::uint64_t>(num(m, "supervisor.completed"));
-    rep.supReplayed +=
-        static_cast<std::uint64_t>(num(m, "supervisor.replayed"));
+    rep.supFinished += static_cast<std::uint64_t>(
+        num(m, "supervisor.finished",
+            num(m, "supervisor.completed") + num(m, "supervisor.replayed")));
     rep.supRetries +=
         static_cast<std::uint64_t>(num(m, "supervisor.retries"));
     rep.supQuarantined +=
@@ -488,14 +490,13 @@ void printSupervisor(const Report& rep) {
   std::printf("\n== supervisor (docs/RESILIENCE.md) ==\n");
   if (rep.supervisorManifests > 0) {
     std::printf(
-        "manifests: %d; items: %llu (completed %llu, replayed %llu)\n"
+        "manifests: %d; items: %llu (finished %llu)\n"
         "retries: %llu; quarantined: %llu\n"
         "failures by kind: timeout_cycles=%llu timeout_wall=%llu "
         "exception=%llu\n",
         rep.supervisorManifests,
         static_cast<unsigned long long>(rep.supItems),
-        static_cast<unsigned long long>(rep.supCompleted),
-        static_cast<unsigned long long>(rep.supReplayed),
+        static_cast<unsigned long long>(rep.supFinished),
         static_cast<unsigned long long>(rep.supRetries),
         static_cast<unsigned long long>(rep.supQuarantined),
         static_cast<unsigned long long>(rep.supTimeoutsCycle),
@@ -747,8 +748,7 @@ void printJson(const Report& rep, bool consistent, double confidence) {
     JsonObjectWriter w;
     w.field("manifests", rep.supervisorManifests);
     w.field("items", rep.supItems);
-    w.field("completed", rep.supCompleted);
-    w.field("replayed", rep.supReplayed);
+    w.field("finished", rep.supFinished);
     w.field("retries", rep.supRetries);
     w.field("quarantined", rep.supQuarantined);
     w.field("timeouts_cycle", rep.supTimeoutsCycle);
@@ -796,50 +796,42 @@ void printJson(const Report& rep, bool consistent, double confidence) {
   std::printf("%s\n", top.str().c_str());
 }
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: apf_report [--json] [--confidence P] DIR\n"
-               "  aggregates *.manifest.json and *.jsonl telemetry from\n"
-               "  DIR (see docs/OBSERVABILITY.md)\n"
-               "  --json          print one machine-readable JSON object\n"
-               "                  instead of the human report\n"
-               "  --confidence P  level for the Wilson intervals on group\n"
-               "                  success rates, in (0, 1) (default 0.95;\n"
-               "                  see docs/STATISTICS.md)\n");
-  return 2;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
   double confidence = 0.95;
-  const char* dirArg = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strcmp(argv[i], "--confidence") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "apf_report: missing value for --confidence\n");
-        return 2;
-      }
-      confidence =
-          apf::cli::parseConfidence("apf_report", "--confidence", argv[++i]);
-    } else if (std::strcmp(argv[i], "--help") == 0 ||
-               std::strcmp(argv[i], "-h") == 0) {
-      return usage();
-    } else if (dirArg == nullptr) {
-      dirArg = argv[i];
-    } else {
-      std::fprintf(stderr, "apf_report: unexpected argument: %s\n", argv[i]);
-      return usage();
-    }
+  apf::cli::ArgParser args(
+      "apf_report",
+      "aggregates *.manifest.json and *.jsonl telemetry from DIR\n"
+      "(see docs/OBSERVABILITY.md)");
+  args.flag("--json",
+            &json,
+            "print one machine-readable JSON object\n"
+            "instead of the human report");
+  args.num("--confidence", &confidence,
+           apf::cli::ArgParser::Num::Confidence, "P",
+           "level for the Wilson intervals on group\n"
+           "success rates, in (0, 1) (default 0.95;\n"
+           "see docs/STATISTICS.md)");
+  args.positionals("DIR",
+                   "telemetry directory (default: $APF_OBS_DIR)", 0, 1);
+  args.exitNotes(" (1 = cross-check inconsistency)");
+  args.parse(argc, argv);
+
+  const std::string dirArg =
+      args.pos().empty() ? apf::cli::env().obsDir : args.pos().front();
+  if (dirArg.empty()) {
+    std::fprintf(stderr,
+                 "apf_report: no DIR argument and APF_OBS_DIR is unset "
+                 "(try --help)\n");
+    return 2;
   }
-  if (dirArg == nullptr) return usage();
   const fs::path dir(dirArg);
   if (!fs::is_directory(dir)) {
-    std::fprintf(stderr, "apf_report: not a directory: %s\n", dirArg);
-    return usage();
+    std::fprintf(stderr, "apf_report: not a directory: %s\n",
+                 dirArg.c_str());
+    return 2;
   }
 
   Report rep;
@@ -876,8 +868,9 @@ int main(int argc, char** argv) {
   if (rep.groups.empty() && rep.jsonlFiles == 0 &&
       rep.campaignManifests == 0 && rep.supervisorManifests == 0 &&
       rep.repros.empty() && rep.estimates.empty()) {
-    std::fprintf(stderr, "apf_report: no telemetry found in %s\n", dirArg);
-    return usage();
+    std::fprintf(stderr, "apf_report: no telemetry found in %s\n",
+                 dirArg.c_str());
+    return 2;
   }
 
   if (json) {

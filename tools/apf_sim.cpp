@@ -19,6 +19,13 @@
 /// uninterrupted one:
 ///   apf_sim --campaign 50 --journal c.journal --json > out.json
 ///   apf_sim --campaign 50 --resume  c.journal --json > out.json
+/// With --shards K the same campaign fans out over K apf_worker PROCESSES
+/// (sim/shard.h, docs/API.md): the options compile into an apf.shard.v1
+/// spec, each worker journals its slice, and the merged journal plus the
+/// printed --json document are byte-identical to the single-process run's
+/// — including after SIGKILLing a worker or this coordinator and
+/// re-running with --resume:
+///   apf_sim --campaign 50 --shards 4 --journal c.journal --json
 /// Failure repro (sim/shrink.h): --repro-out captures a run's replay
 /// coordinates as a self-contained .repro.json (minimized with --shrink),
 /// and --replay re-executes one, exiting 0 iff the violation reproduces.
@@ -31,14 +38,9 @@
 #include <string>
 #include <vector>
 
-#include "baseline/det_election.h"
-#include "baseline/yy.h"
 #include "config/classify.h"
 #include "config/generator.h"
-#include "core/form_pattern.h"
 #include "core/phases.h"
-#include "core/rsb.h"
-#include "core/scattering.h"
 #include "fault/fault.h"
 #include "io/patterns.h"
 #include "io/serialize.h"
@@ -48,15 +50,17 @@
 #include "obs/recorder.h"
 #include "obs/span.h"
 #include "sim/engine.h"
+#include "sim/shard.h"
 #include "sim/shrink.h"
 #include "sim/supervisor.h"
 #include "sim/trace.h"
+#include "algo_select.h"
 #include "cli_parse.h"
 
 namespace {
 
 struct Options {
-  std::size_t n = 8;
+  std::uint64_t n = 8;
   std::string pattern = "star";
   std::string patternFile;
   std::string startFile;
@@ -96,218 +100,196 @@ struct Options {
   std::uint64_t watchdogMs = 0;
   int retries = 2;
   std::string quarantinePath;
+  // Multi-process sharding (sim/shard.h, docs/API.md).
+  int shards = 0;  // 0 = in-process campaign
+  std::string workerPath;
+  std::uint64_t shardWallMs = 0;
+  int shardRetries = 2;
   // Failure repro (sim/shrink.h).
   std::string replayPath;
   std::string reproOutPath;
   bool doShrink = false;
 };
 
-void usage() {
-  std::printf(
-      "apf_sim — LCM robot simulator for probabilistic asynchronous\n"
-      "arbitrary pattern formation (Bramas & Tixeuil, PODC 2016)\n\n"
-      "options:\n"
-      "  --n N              robots (default 8)\n"
-      "  --pattern NAME     polygon|star|grid|spiral|ringcore|random|\n"
-      "                     mult|center-mult (default star)\n"
-      "  --pattern-file F   load pattern points from file ('x y' per line)\n"
-      "  --start KIND       random|symmetric (default random)\n"
-      "  --start-file F     load start points from file\n"
-      "  --sched S          fsync|ssync|async (default async)\n"
-      "  --algo A           form|rsb|yy|det|scatter-form (default form)\n"
-      "  --seed S           RNG seed (default 1)\n"
-      "  --delta D          adversary min-move distance (default 0.05)\n"
-      "  --max-events N     event cap (default 1e6)\n"
-      "  --multiplicity     enable multiplicity detection\n"
-      "  --chirality        give all robots a common chirality\n"
-      "  --svg FILE         write trajectory SVG\n"
-      "  --trace FILE       write a position trace CSV; a FILE ending in\n"
-      "                     .json instead captures look/compute/move spans\n"
-      "                     as Chrome trace-event JSON (chrome://tracing)\n"
-      "  --jsonl FILE       write structured event log (JSONL; see\n"
-      "                     docs/OBSERVABILITY.md and apf_report)\n"
-      "  --manifest FILE    write run manifest (reproducibility record)\n"
-      "fault injection (docs/FAULTS.md):\n"
-      "  --crash F          crash-stop F random robots (victims/timings\n"
-      "                     drawn from --fault-seed)\n"
-      "  --crash-horizon N  scheduler-event window for crashes (default\n"
-      "                     2000)\n"
-      "  --noise S          Gaussian snapshot noise, std dev S (global\n"
-      "                     units)\n"
-      "  --omit P           omit each observed robot with probability P\n"
-      "  --mult-flip P      flip perceived multiplicity with probability P\n"
-      "  --drop P           drop a computed path with probability P\n"
-      "  --trunc P          truncate a computed path with probability P\n"
-      "  --fault-seed S     fault RNG stream seed (default: --seed)\n"
-      "supervised campaigns (docs/RESILIENCE.md):\n"
-      "  --campaign N       run N seeded runs (seeds --seed..+N-1) on the\n"
-      "                     campaign pool under the supervisor; exit 0 iff\n"
-      "                     nothing was quarantined\n"
-      "  --journal F        crash-safe checkpoint journal (fresh file)\n"
-      "  --resume F         resume from journal F (skips completed runs;\n"
-      "                     merges bit-identical to an uninterrupted\n"
-      "                     campaign)\n"
-      "  --watchdog-events N  per-attempt cycle budget (deterministic;\n"
-      "                     also applies to single runs, exit code 3)\n"
-      "  --watchdog-ms N    per-attempt wall budget (nondeterministic)\n"
-      "  --retries N        retry budget per run (default 2; attempt 1\n"
-      "                     reuses the same seed to prove determinism)\n"
-      "  --quarantine F     write the supervisor report JSON to F\n"
-      "failure repro (sim/shrink.h):\n"
-      "  --replay F         re-execute a .repro.json; exit 0 iff the\n"
-      "                     recorded violation reproduces\n"
-      "  --repro-out F      write this run's replay coordinates as a\n"
-      "                     self-contained .repro.json\n"
-      "  --shrink           minimize the repro before writing (delta\n"
-      "                     debugging; only with --repro-out)\n"
-      "general:\n"
-      "  --json             print run manifest + result as one JSON line\n"
-      "  --analyze          classify the start configuration and exit\n"
-      "  --quiet            summary line only\n");
+void registerFlags(apf::cli::ArgParser& args, Options& o) {
+  using apf::cli::ArgParser;
+  args.u64("--n", &o.n, "N", "robots (default 8)", nullptr,
+           /*positive=*/true);
+  args.str("--pattern", &o.pattern, "NAME",
+           "polygon|star|grid|spiral|ringcore|random|\n"
+           "mult|center-mult (default star)");
+  args.str("--pattern-file", &o.patternFile, "F",
+           "load pattern points from file ('x y' per line)");
+  args.str("--start", &o.startKind, "KIND",
+           "random|symmetric (default random)");
+  args.str("--start-file", &o.startFile, "F", "load start points from file");
+  args.str("--sched", &o.sched, "S", "fsync|ssync|async (default async)");
+  args.str("--algo", &o.algo, "A",
+           std::string(apf::cli::algorithmNames()) + " (default form)");
+  args.u64("--seed", &o.seed, "S", "RNG seed (default 1)");
+  args.num("--delta", &o.delta, ArgParser::Num::NonNegative, "D",
+           "adversary min-move distance (default 0.05)");
+  args.u64("--max-events", &o.maxEvents, "N", "event cap (default 1e6)");
+  args.flag("--multiplicity", &o.multiplicity,
+            "enable multiplicity detection");
+  args.flag("--chirality", &o.commonChirality,
+            "give all robots a common chirality");
+  args.str("--svg", &o.svgPath, "FILE", "write trajectory SVG");
+  args.str("--trace", &o.tracePath, "FILE",
+           "write a position trace CSV; a FILE ending in\n"
+           ".json instead captures look/compute/move spans\n"
+           "as Chrome trace-event JSON (chrome://tracing)");
+  args.str("--jsonl", &o.jsonlPath, "FILE",
+           "write structured event log (JSONL; see\n"
+           "docs/OBSERVABILITY.md and apf_report)");
+  args.str("--manifest", &o.manifestPath, "FILE",
+           "write run manifest (reproducibility record)");
+
+  args.section("fault injection (docs/FAULTS.md)");
+  args.intNonNegative("--crash", &o.crashF, "F",
+                      "crash-stop F random robots (victims/timings\n"
+                      "drawn from --fault-seed)");
+  args.u64("--crash-horizon", &o.crashHorizon, "N",
+           "scheduler-event window for crashes (default\n2000)",
+           nullptr, /*positive=*/true);
+  args.num("--noise", &o.noiseSigma, ArgParser::Num::NonNegative, "S",
+           "Gaussian snapshot noise, std dev S (global\nunits)");
+  args.num("--omit", &o.omitProb, ArgParser::Num::Probability, "P",
+           "omit each observed robot with probability P");
+  args.num("--mult-flip", &o.multFlipProb, ArgParser::Num::Probability, "P",
+           "flip perceived multiplicity with probability P");
+  args.num("--drop", &o.dropProb, ArgParser::Num::Probability, "P",
+           "drop a computed path with probability P");
+  args.num("--trunc", &o.truncProb, ArgParser::Num::Probability, "P",
+           "truncate a computed path with probability P");
+  args.u64("--fault-seed", &o.faultSeed, "S",
+           "fault RNG stream seed (default: --seed)", &o.faultSeedSet);
+
+  args.section("supervised campaigns (docs/RESILIENCE.md)");
+  args.u64("--campaign", &o.campaignRuns, "N",
+           "run N seeded runs (seeds --seed..+N-1) on the\n"
+           "campaign pool under the supervisor; exit 0 iff\n"
+           "nothing was quarantined",
+           nullptr, /*positive=*/true);
+  args.str("--journal", &o.journalPath, "F",
+           "crash-safe checkpoint journal (fresh file)");
+  args.str("--resume", &o.resumePath, "F",
+           "resume from journal F (skips completed runs;\n"
+           "merges bit-identical to an uninterrupted\ncampaign)");
+  args.u64("--watchdog-events", &o.watchdogEvents, "N",
+           "per-attempt cycle budget (deterministic;\n"
+           "also applies to single runs, exit code 3)");
+  args.u64("--watchdog-ms", &o.watchdogMs, "N",
+           "per-attempt wall budget (nondeterministic)");
+  args.intNonNegative("--retries", &o.retries, "N",
+                      "retry budget per run (default 2; attempt 1\n"
+                      "reuses the same seed to prove determinism)");
+  args.str("--quarantine", &o.quarantinePath, "F",
+           "write the supervisor report JSON to F");
+
+  args.section("multi-process sharding (sim/shard.h, docs/API.md)");
+  args.intNonNegative("--shards", &o.shards, "K",
+                      "fan the campaign out over K apf_worker\n"
+                      "processes (needs --journal or --resume; the\n"
+                      "merged journal and --json document are\n"
+                      "byte-identical to the in-process run's)");
+  args.str("--worker", &o.workerPath, "PATH",
+           "apf_worker binary (default: $APF_WORKER, then\n"
+           "next to this executable)");
+  args.u64("--shard-wall-ms", &o.shardWallMs, "N",
+           "per-attempt wall budget for each worker\n"
+           "process; on expiry the worker is SIGKILLed and\n"
+           "retried from its shard journal (0 = none)");
+  args.intNonNegative("--shard-retries", &o.shardRetries, "N",
+                      "process-level retry budget per shard (default 2)");
+
+  args.section("failure repro (sim/shrink.h)");
+  args.str("--replay", &o.replayPath, "F",
+           "re-execute a .repro.json; exit 0 iff the\n"
+           "recorded violation reproduces");
+  args.str("--repro-out", &o.reproOutPath, "F",
+           "write this run's replay coordinates as a\n"
+           "self-contained .repro.json");
+  args.flag("--shrink", &o.doShrink,
+            "minimize the repro before writing (delta\n"
+            "debugging; only with --repro-out)");
+
+  args.section("general");
+  args.flag("--json", &o.json,
+            "print run manifest + result as one JSON line");
+  args.flag("--analyze", &o.analyze,
+            "classify the start configuration and exit");
+  args.flag("--quiet", &o.quiet, "summary line only");
 }
 
-// Numeric argument parsing with validation (tools/cli_parse.h): every flag
-// rejects garbage, trailing junk, and out-of-domain values with a clear
-// message and exit code 2 (usage error).
-[[noreturn]] void badValue(const char* flag, const char* got,
-                           const char* want) {
-  apf::cli::badValue("apf_sim", flag, got, want);
-}
-
-double parseDouble(const char* flag, const char* s) {
-  return apf::cli::parseDouble("apf_sim", flag, s);
-}
-
-double parseNonNegative(const char* flag, const char* s) {
-  return apf::cli::parseNonNegative("apf_sim", flag, s);
-}
-
-double parseProb(const char* flag, const char* s) {
-  return apf::cli::parseProb("apf_sim", flag, s);
-}
-
-std::uint64_t parseU64(const char* flag, const char* s) {
-  return apf::cli::parseU64("apf_sim", flag, s);
-}
-
-bool parse(int argc, char** argv, Options& o) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&](const char* what) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", what);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (a == "--n") {
-      o.n = static_cast<std::size_t>(parseU64("--n", next("--n")));
-      if (o.n == 0) badValue("--n", "0", "at least one robot");
-    } else if (a == "--pattern") {
-      o.pattern = next("--pattern");
-    } else if (a == "--pattern-file") {
-      o.patternFile = next("--pattern-file");
-    } else if (a == "--start") {
-      o.startKind = next("--start");
-    } else if (a == "--start-file") {
-      o.startFile = next("--start-file");
-    } else if (a == "--sched") {
-      o.sched = next("--sched");
-    } else if (a == "--algo") {
-      o.algo = next("--algo");
-    } else if (a == "--seed") {
-      o.seed = parseU64("--seed", next("--seed"));
-    } else if (a == "--delta") {
-      o.delta = parseNonNegative("--delta", next("--delta"));
-    } else if (a == "--max-events") {
-      o.maxEvents = parseU64("--max-events", next("--max-events"));
-    } else if (a == "--crash") {
-      o.crashF = static_cast<int>(parseU64("--crash", next("--crash")));
-    } else if (a == "--crash-horizon") {
-      o.crashHorizon = parseU64("--crash-horizon", next("--crash-horizon"));
-      if (o.crashHorizon == 0) {
-        badValue("--crash-horizon", "0", "a positive event count");
-      }
-    } else if (a == "--noise") {
-      o.noiseSigma = parseNonNegative("--noise", next("--noise"));
-    } else if (a == "--omit") {
-      o.omitProb = parseProb("--omit", next("--omit"));
-    } else if (a == "--mult-flip") {
-      o.multFlipProb = parseProb("--mult-flip", next("--mult-flip"));
-    } else if (a == "--drop") {
-      o.dropProb = parseProb("--drop", next("--drop"));
-    } else if (a == "--trunc") {
-      o.truncProb = parseProb("--trunc", next("--trunc"));
-    } else if (a == "--fault-seed") {
-      o.faultSeed = parseU64("--fault-seed", next("--fault-seed"));
-      o.faultSeedSet = true;
-    } else if (a == "--campaign") {
-      o.campaignRuns = parseU64("--campaign", next("--campaign"));
-      if (o.campaignRuns == 0) badValue("--campaign", "0", "at least one run");
-    } else if (a == "--journal") {
-      o.journalPath = next("--journal");
-    } else if (a == "--resume") {
-      o.resumePath = next("--resume");
-    } else if (a == "--watchdog-events") {
-      o.watchdogEvents =
-          parseU64("--watchdog-events", next("--watchdog-events"));
-    } else if (a == "--watchdog-ms") {
-      o.watchdogMs = parseU64("--watchdog-ms", next("--watchdog-ms"));
-    } else if (a == "--retries") {
-      o.retries = static_cast<int>(parseU64("--retries", next("--retries")));
-    } else if (a == "--quarantine") {
-      o.quarantinePath = next("--quarantine");
-    } else if (a == "--replay") {
-      o.replayPath = next("--replay");
-    } else if (a == "--repro-out") {
-      o.reproOutPath = next("--repro-out");
-    } else if (a == "--shrink") {
-      o.doShrink = true;
-    } else if (a == "--multiplicity") {
-      o.multiplicity = true;
-    } else if (a == "--chirality") {
-      o.commonChirality = true;
-    } else if (a == "--svg") {
-      o.svgPath = next("--svg");
-    } else if (a == "--trace") {
-      o.tracePath = next("--trace");
-    } else if (a == "--jsonl") {
-      o.jsonlPath = next("--jsonl");
-    } else if (a == "--manifest") {
-      o.manifestPath = next("--manifest");
-    } else if (a == "--json") {
-      o.json = true;
-    } else if (a == "--quiet") {
-      o.quiet = true;
-    } else if (a == "--analyze") {
-      o.analyze = true;
-    } else if (a == "--help" || a == "-h") {
-      usage();
-      std::exit(0);
-    } else {
-      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
-      return false;
-    }
+/// Compiles the CLI options into the versioned wire spec (apf.shard.v1)
+/// that defines a campaign — the single source of truth for BOTH the
+/// in-process pool and apf_worker processes, and (as canonical JSON) the
+/// journal config key. `spec.algo` carries the CLI spelling, not
+/// Algorithm::name(): a worker re-instantiates it via the same
+/// cli::makeAlgorithm table.
+apf::sim::ShardSpec specFromOptions(const Options& o,
+                                    const apf::config::Configuration& pattern,
+                                    const apf::config::Configuration& start,
+                                    const std::string& patternLabel,
+                                    apf::sched::SchedulerKind sched) {
+  apf::sim::ShardSpec spec;
+  spec.algo = o.algo;
+  spec.n = static_cast<std::size_t>(o.n);
+  spec.patternLabel = patternLabel;
+  spec.pattern = pattern;
+  if (!o.startFile.empty()) {
+    spec.startKind = "points";
+    spec.start = start;
+  } else {
+    spec.startKind = o.startKind;
   }
-  return true;
+  spec.sched = sched;
+  spec.baseSeed = o.seed;
+  spec.runs = o.campaignRuns;
+  spec.maxEvents = o.maxEvents;
+  spec.delta = o.delta;
+  spec.multiplicity = o.multiplicity;
+  spec.commonChirality = o.commonChirality;
+  spec.crashF = o.crashF;
+  spec.crashHorizon = o.crashHorizon;
+  // Base plan: sensor/compute knobs + fault-stream seed only. Crash
+  // victims/timings are re-drawn per run from the effective seed (or the
+  // pinned fault seed) inside runScenarioPayload.
+  spec.fault.noiseSigma = o.noiseSigma;
+  spec.fault.omitProb = o.omitProb;
+  spec.fault.multFlipProb = o.multFlipProb;
+  spec.fault.dropProb = o.dropProb;
+  spec.fault.truncProb = o.truncProb;
+  spec.fault.seed = o.faultSeedSet ? o.faultSeed : o.seed;
+  spec.faultSeedSet = o.faultSeedSet;
+  spec.watchdogEvents = o.watchdogEvents;
+  spec.watchdogMs = o.watchdogMs;
+  spec.retries = o.retries;
+  return spec;
 }
 
-/// Maps an --algo (or ReproCase::algo) spelling to an instance; sets
-/// `multiplicity` when the algorithm requires detection. nullptr = unknown.
-std::unique_ptr<apf::sim::Algorithm> makeAlgorithm(const std::string& name,
-                                                   bool& multiplicity) {
-  using namespace apf;
-  if (name == "form") return std::make_unique<core::FormPatternAlgorithm>();
-  if (name == "rsb") return std::make_unique<core::RsbOnlyAlgorithm>();
-  if (name == "yy") return std::make_unique<baseline::YYAlgorithm>();
-  if (name == "det") {
-    return std::make_unique<baseline::DeterministicElection>();
-  }
-  if (name == "scatter-form") {
-    multiplicity = true;
-    return std::make_unique<core::ScatterThenForm>();
-  }
-  return nullptr;
+/// The campaign-describing manifest fields, derived from the wire spec so
+/// sharded and in-process manifests cannot differ.
+apf::obs::Manifest campaignManifest(const apf::sim::ShardSpec& spec,
+                                    const std::string& algoName) {
+  apf::obs::Manifest m;
+  m.set("campaign", "apf_sim");
+  m.set("algo", algoName);
+  m.set("n", static_cast<std::uint64_t>(spec.n));
+  m.set("pattern", spec.patternLabel);
+  m.set("start", spec.startKind);
+  m.set("sched", apf::sched::schedulerName(spec.sched));
+  m.set("seed", spec.baseSeed);
+  m.set("runs", spec.runs);
+  m.set("max_events", spec.maxEvents);
+  m.set("delta", spec.delta);
+  m.set("multiplicity", spec.multiplicity);
+  m.set("chirality", spec.commonChirality);
+  m.set("crash_f", spec.crashF);
+  m.set("crash_horizon", spec.crashHorizon);
+  m.set("fault", apf::fault::toJson(spec.fault));
+  return m;
 }
 
 }  // namespace
@@ -315,10 +297,13 @@ std::unique_ptr<apf::sim::Algorithm> makeAlgorithm(const std::string& name,
 int main(int argc, char** argv) try {
   using namespace apf;
   Options o;
-  if (!parse(argc, argv, o)) {
-    usage();
-    return 2;
-  }
+  cli::ArgParser args(
+      "apf_sim",
+      "LCM robot simulator for probabilistic asynchronous\n"
+      "arbitrary pattern formation (Bramas & Tixeuil, PODC 2016)");
+  registerFlags(args, o);
+  args.exitNotes(", 3 watchdog expired");
+  args.parse(argc, argv);
 
   // --replay re-executes a self-contained .repro.json exactly (same safety
   // observer as the fuzzer) and reports whether the recorded violation
@@ -326,7 +311,7 @@ int main(int argc, char** argv) try {
   if (!o.replayPath.empty()) {
     const sim::ReproCase repro = sim::loadRepro(o.replayPath);
     bool ignoredMult = false;
-    const auto replayAlgo = makeAlgorithm(repro.algo, ignoredMult);
+    const auto replayAlgo = cli::makeAlgorithm(repro.algo, ignoredMult);
     if (replayAlgo == nullptr) {
       std::fprintf(stderr, "apf_sim: repro names unknown algorithm '%s'\n",
                    repro.algo.c_str());
@@ -388,9 +373,11 @@ int main(int argc, char** argv) try {
   }
 
   // Algorithm.
-  std::unique_ptr<sim::Algorithm> algo = makeAlgorithm(o.algo, o.multiplicity);
+  std::unique_ptr<sim::Algorithm> algo =
+      cli::makeAlgorithm(o.algo, o.multiplicity);
   if (algo == nullptr) {
-    std::fprintf(stderr, "unknown algorithm: %s\n", o.algo.c_str());
+    std::fprintf(stderr, "unknown algorithm: %s (want %s)\n", o.algo.c_str(),
+                 cli::algorithmNames());
     return 2;
   }
 
@@ -441,114 +428,68 @@ int main(int argc, char** argv) try {
   if (o.campaignRuns > 0) {
     const std::string patternLabel =
         !o.patternFile.empty() ? o.patternFile : o.pattern;
-
-    // The campaign-defining options, as a flat manifest. Its JSON doubles
-    // as the journal's config key: resuming with ANY different option is a
-    // different experiment and must be refused, not silently merged.
-    obs::Manifest campaignKey;
-    campaignKey.set("campaign", "apf_sim");
-    campaignKey.set("algo", algo->name());
-    campaignKey.set("n", static_cast<std::uint64_t>(o.n));
-    campaignKey.set("pattern", patternLabel);
-    campaignKey.set("start", o.startFile.empty() ? o.startKind : o.startFile);
-    campaignKey.set("sched", o.sched);
-    campaignKey.set("seed", o.seed);
-    campaignKey.set("runs", o.campaignRuns);
-    campaignKey.set("max_events", o.maxEvents);
-    campaignKey.set("delta", o.delta);
-    campaignKey.set("multiplicity", o.multiplicity);
-    campaignKey.set("chirality", o.commonChirality);
-    campaignKey.set("crash_f", o.crashF);
-    campaignKey.set("crash_horizon", o.crashHorizon);
-    campaignKey.set("fault", fault::toJson(opts.fault));
-    const std::string configKey = campaignKey.toJson();
-
-    std::unique_ptr<sim::CampaignJournal> journal;
+    const sim::ShardSpec spec =
+        specFromOptions(o, pattern, start, patternLabel, *kind);
+    if (const std::string why = sim::validateShardSpec(spec); !why.empty()) {
+      std::fprintf(stderr, "apf_sim: invalid campaign: %s\n", why.c_str());
+      return 2;
+    }
+    // The spec's canonical JSON is the journal config key: resuming with
+    // ANY different option is a different experiment and must be refused,
+    // not silently merged — and a journal written by apf_worker carries the
+    // byte-identical key, so in-process and sharded journals interoperate.
+    const std::string configKey = sim::shardConfigKey(spec);
     const bool resuming = !o.resumePath.empty();
     const std::string jpath = resuming ? o.resumePath : o.journalPath;
-    if (!jpath.empty()) {
-      journal =
-          std::make_unique<sim::CampaignJournal>(jpath, configKey, resuming);
-    }
 
-    sim::SupervisorOptions sopts;
-    sopts.cycleBudget = o.watchdogEvents;
-    sopts.wallBudgetNanos = o.watchdogMs * 1'000'000ull;
-    sopts.maxRetries = o.retries;
-    sopts.recorder = sink.get();  // supervisor events only (merge thread)
+    const sim::SupervisorOptions sopts =
+        sim::shardSupervisorOptions(spec, sink.get());
+    std::vector<std::string> payloads(spec.runs);
+    sim::SupervisorReport report;
+    std::unique_ptr<sim::CampaignJournal> journal;
+    bool shardsOk = true;
 
-    std::vector<std::uint64_t> runSeeds(o.campaignRuns);
-    for (std::size_t i = 0; i < runSeeds.size(); ++i) {
-      runSeeds[i] = o.seed + i;
-    }
-
-    // Worker: one engine run per seed. Retry salts XOR into the effective
-    // seed (0 for attempts 0/1 — the same-seed determinism proof); crash
-    // victims/timings are re-drawn per run so the campaign explores many
-    // crash schedules. The payload is a flat JSON line with only
-    // deterministic fields, so campaign outputs diff bit-identical.
-    auto worker = [&](std::uint64_t runSeed, std::size_t,
-                      const sim::Attempt& att) -> std::string {
-      const std::uint64_t eff = runSeed ^ att.seedSalt;
-      sim::EngineOptions eopts = opts;
-      eopts.seed = eff;
-      eopts.watchdog = att.watchdog;
-      eopts.recorder = nullptr;  // per-run event logs stay off on the pool
-      eopts.collectTimings = false;
-      const std::uint64_t fseed = o.faultSeedSet ? o.faultSeed : eff;
-      fault::FaultPlan plan;
-      if (o.crashF > 0) {
-        plan = fault::planWithRandomCrashes(o.n, o.crashF, fseed,
-                                            o.crashHorizon);
+    if (o.shards > 0) {
+      // Multi-process mode: fan out over apf_worker processes. The shard
+      // scratch space (spec, per-shard journals/reports/logs) lives next to
+      // the merged journal, which is why a journal path is required.
+      if (jpath.empty()) {
+        std::fprintf(stderr,
+                     "apf_sim: --shards needs --journal F (fresh) or "
+                     "--resume F\n");
+        return 2;
       }
-      plan.noiseSigma = o.noiseSigma;
-      plan.omitProb = o.omitProb;
-      plan.multFlipProb = o.multFlipProb;
-      plan.dropProb = o.dropProb;
-      plan.truncProb = o.truncProb;
-      plan.seed = fseed;
-      eopts.fault = plan;
-
-      config::Configuration runStart = start;
-      if (o.startFile.empty()) {
-        config::Rng rng(eff + 7);
-        if (o.startKind == "symmetric") {
-          const int rho = static_cast<int>(o.n) / 2;
-          runStart = config::symmetricConfiguration(rho > 1 ? rho : 2, 2,
-                                                    rng);
-        } else {
-          runStart = config::randomConfiguration(o.n, rng, 5.0, 0.1);
+      sim::CoordinatorOptions copts;
+      copts.workerPath = o.workerPath;
+      copts.shards = static_cast<unsigned>(o.shards);
+      copts.workDir = jpath + ".shards";
+      copts.workerWallBudgetNanos = o.shardWallMs * 1'000'000ull;
+      copts.maxRetries = o.shardRetries;
+      copts.resume = resuming;
+      copts.verbose = !o.quiet;
+      copts.mergedJournalPath = jpath;
+      const sim::CoordinatorReport creport =
+          sim::runShardedCampaign(spec, copts);
+      shardsOk = creport.allShardsOk();
+      report = creport.runs;
+      // Payloads come back from the merged journal — the same decode path
+      // a resumed in-process campaign replays through.
+      journal = std::make_unique<sim::CampaignJournal>(jpath, configKey,
+                                                       /*resume=*/true);
+      for (std::uint64_t i = 0; i < spec.runs; ++i) {
+        if (const std::string* p =
+                journal->payload(static_cast<std::size_t>(i))) {
+          payloads[static_cast<std::size_t>(i)] = *p;
         }
       }
-
-      sim::Engine eng(runStart, pattern, *algo, eopts);
-      const sim::RunResult res = eng.run();
-      obs::JsonObjectWriter w;
-      w.field("seed", eff);
-      w.field("outcome", sim::outcomeName(res.outcome));
-      w.field("success", res.success);
-      w.field("terminated", res.terminated);
-      w.field("cycles", res.metrics.cycles);
-      w.field("events", res.metrics.events);
-      w.field("bits", res.metrics.randomBits);
-      w.field("distance", res.metrics.distance);
-      return w.str();
-    };
-
-    std::vector<std::string> payloads(o.campaignRuns);
-    auto mergeFn = [&](std::size_t i, std::string&& p) {
-      payloads[i] = std::move(p);
-    };
-
-    sim::SupervisorReport report;
-    if (journal != nullptr) {
-      sim::JournalCodec<std::string> codec;
-      codec.encode = [](const std::string& s) { return s; };
-      codec.decode = [](const std::string& s) { return s; };
-      report = sim::superviseCampaign(runSeeds, worker, mergeFn, *journal,
-                                      codec, sopts);
     } else {
-      report = sim::superviseCampaign(runSeeds, worker, mergeFn, sopts);
+      if (!jpath.empty()) {
+        journal = std::make_unique<sim::CampaignJournal>(jpath, configKey,
+                                                         resuming);
+      }
+      report = sim::runShard(spec, *algo, 0, spec.runs, journal.get(),
+                             sink.get(), /*jobs=*/0, /*stats=*/nullptr,
+                             &payloads);
     }
 
     if (!o.quarantinePath.empty()) report.write(o.quarantinePath);
@@ -556,8 +497,11 @@ int main(int argc, char** argv) try {
       obs::Manifest m;
       obs::addBuildInfo(m);
       m.set("tool", "apf_sim.campaign");
-      m.merge(campaignKey);
-      sim::appendManifest(sopts, report, m);
+      m.merge(campaignManifest(spec, algo->name()));
+      // The resume/shard-invariant variant: fresh-vs-replayed collapses
+      // into supervisor.finished, so this manifest is byte-identical for
+      // uninterrupted, resumed, and K-shard executions of the same spec.
+      sim::appendManifestInvariant(sopts, report, m);
       m.write(o.manifestPath);
     }
 
@@ -574,7 +518,8 @@ int main(int argc, char** argv) try {
       // Deliberately free of wall-clock fields AND of the fresh-vs-replayed
       // split (only their sum is invariant): a resumed campaign must print
       // a document byte-identical to an uninterrupted one's — the CI
-      // kill-and-resume check diffs them directly. The split lives in the
+      // kill-and-resume check diffs them directly, and the sharded drill
+      // diffs a 4-process run against APF_JOBS=1. The split lives in the
       // human output and the --quarantine report.
       obs::JsonObjectWriter top;
       top.field("schema", "apf.campaign.v1");
@@ -596,12 +541,14 @@ int main(int argc, char** argv) try {
       std::printf("%s\n", top.str().c_str());
     } else {
       std::printf(
-          "campaign: %llu runs  algo=%s n=%zu sched=%s seeds=%llu..%llu\n"
+          "campaign: %llu runs  algo=%s n=%zu sched=%s seeds=%llu..%llu%s\n"
           "  completed=%llu replayed=%llu retries=%llu quarantined=%llu\n",
           static_cast<unsigned long long>(o.campaignRuns),
-          algo->name().c_str(), o.n, o.sched.c_str(),
-          static_cast<unsigned long long>(o.seed),
+          algo->name().c_str(), static_cast<std::size_t>(o.n),
+          o.sched.c_str(), static_cast<unsigned long long>(o.seed),
           static_cast<unsigned long long>(o.seed + o.campaignRuns - 1),
+          o.shards > 0 ? (" shards=" + std::to_string(o.shards)).c_str()
+                       : "",
           static_cast<unsigned long long>(report.completed),
           static_cast<unsigned long long>(report.replayed),
           static_cast<unsigned long long>(report.retries),
@@ -624,7 +571,7 @@ int main(int argc, char** argv) try {
                                        : q.attempts.back().message.c_str());
       }
     }
-    return report.allCompleted() ? 0 : 1;
+    return shardsOk && report.allCompleted() ? 0 : 1;
   }
 
   // --trace dispatches on extension: .json = Chrome trace-event spans,

@@ -1,0 +1,184 @@
+/// \file apf_worker.cpp
+/// Shard worker for multi-process campaign execution (sim/shard.h,
+/// docs/API.md). Reads an apf.shard.v1 spec, executes its slice of the
+/// campaign's global run indices through the same supervised path apf_sim
+/// uses in-process, and streams every completed run into an fsync'd shard
+/// journal keyed by the spec's canonical JSON. Normally spawned by the
+/// coordinator (apf_sim --shards K), but `--shard i/k` is a stable
+/// interface for external launchers placing shards on other machines.
+///
+/// The journal is always opened resume-or-create: a relaunched worker
+/// (coordinator retry after a SIGKILL) replays what it already journaled
+/// and re-runs only the rest. A `<journal>.lock` flock serializes workers
+/// per shard — a second worker on a live shard exits 4 (retryable) instead
+/// of interleaving appends.
+///
+/// stdout is reserved for nothing: all human output goes to stderr, so the
+/// coordinator can capture both into the shard log without polluting
+/// byte-compared campaign output.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
+#include "sim/campaign.h"
+#include "sim/shard.h"
+#include "sim/supervisor.h"
+#include "algo_select.h"
+#include "cli_parse.h"
+
+namespace {
+
+/// Parses "--shard i/k" (shard i of k, 0-based). Exits 2 on garbage.
+void parseShard(const std::string& s, unsigned& index, unsigned& count) {
+  const std::size_t slash = s.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= s.size()) {
+    apf::cli::badValue("apf_worker", "--shard", s.c_str(),
+                       "INDEX/COUNT (e.g. 0/4)");
+  }
+  const std::uint64_t i =
+      apf::cli::parseU64("apf_worker", "--shard", s.substr(0, slash).c_str());
+  const std::uint64_t k =
+      apf::cli::parseU64("apf_worker", "--shard", s.substr(slash + 1).c_str());
+  if (k == 0 || i >= k || k > 1u << 20) {
+    apf::cli::badValue("apf_worker", "--shard", s.c_str(),
+                       "INDEX < COUNT (e.g. 0/4)");
+  }
+  index = static_cast<unsigned>(i);
+  count = static_cast<unsigned>(k);
+}
+
+/// Takes the shard's advisory lock, or exits 4 when another worker holds
+/// it. The fd is deliberately leaked: the lock must live exactly as long
+/// as the process (the kernel releases it on any exit, including SIGKILL).
+void lockShardJournal(const std::string& journalPath) {
+#ifndef _WIN32
+  const std::string lockPath = journalPath + ".lock";
+  const int fd = ::open(lockPath.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    std::fprintf(stderr, "apf_worker: cannot open lock %s: %s\n",
+                 lockPath.c_str(), std::strerror(errno));
+    std::exit(1);
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    std::fprintf(stderr,
+                 "apf_worker: shard journal lock held by another process "
+                 "(%s); exiting 4 (retryable)\n",
+                 lockPath.c_str());
+    std::exit(4);
+  }
+#else
+  (void)journalPath;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace apf;
+
+  std::string specPath;
+  std::string shardStr = "0/1";
+  std::string journalPath;
+  std::string reportPath;
+  int jobs = 1;
+  bool quiet = false;
+
+  cli::ArgParser args(
+      "apf_worker",
+      "executes one shard of an apf.shard.v1 campaign spec (sim/shard.h);\n"
+      "spawned by apf_sim --shards K, or placed externally via --shard");
+  args.str("--spec", &specPath, "F", "apf.shard.v1 spec file (required)");
+  args.str("--shard", &shardStr, "I/K",
+           "this worker owns shard I of K contiguous slices of the\n"
+           "campaign's run indices (default 0/1 = the whole campaign)");
+  args.str("--journal", &journalPath, "F",
+           "shard journal, resume-or-create (required); appends are\n"
+           "fsync'd per run and keyed by the spec's canonical JSON");
+  args.str("--report", &reportPath, "F",
+           "write the shard's apf.supervisor.v1 report here");
+  args.intNonNegative("--jobs", &jobs, "N",
+                      "threads inside this worker (default 1; the\n"
+                      "coordinator provides process-level parallelism)");
+  args.flag("--quiet", &quiet, "no summary line on stderr");
+  args.exitNotes(
+      ", 2 bad spec/schema,\n"
+      "4 shard journal lock held (retryable)");
+  args.parse(argc, argv);
+
+  if (specPath.empty() || journalPath.empty()) {
+    std::fprintf(stderr,
+                 "apf_worker: --spec and --journal are required (try "
+                 "--help)\n");
+    return 2;
+  }
+
+  unsigned shardIndex = 0;
+  unsigned shardCount = 1;
+  parseShard(shardStr, shardIndex, shardCount);
+
+  sim::ShardSpec spec;
+  try {
+    spec = sim::loadShardSpec(specPath);
+  } catch (const std::exception& e) {
+    // Covers unreadable files, malformed JSON, and the cross-version
+    // refusal ("this build speaks apf.shard.v1") — all fatal spec errors.
+    std::fprintf(stderr, "apf_worker: %s\n", e.what());
+    return 2;
+  }
+  if (const std::string err = sim::validateShardSpec(spec); !err.empty()) {
+    std::fprintf(stderr, "apf_worker: invalid spec: %s\n", err.c_str());
+    return 2;
+  }
+
+  bool multiplicity = false;
+  const std::unique_ptr<sim::Algorithm> algo =
+      cli::makeAlgorithm(spec.algo, multiplicity);
+  if (algo == nullptr) {
+    std::fprintf(stderr, "apf_worker: unknown algorithm in spec: %s (want %s)\n",
+                 spec.algo.c_str(), cli::algorithmNames());
+    return 2;
+  }
+  if (multiplicity) spec.multiplicity = true;
+
+  lockShardJournal(journalPath);
+
+  const sim::ShardRange range =
+      sim::shardRange(spec.runs, shardIndex, shardCount);
+  sim::CampaignJournal journal(journalPath, sim::shardConfigKey(spec),
+                               /*resume=*/true);
+  const std::size_t replayable = journal.completedCount();
+
+  const sim::SupervisorReport report = sim::runShard(
+      spec, *algo, range.lo, range.hi, &journal, /*recorder=*/nullptr,
+      sim::campaignJobs(jobs));
+
+  if (!reportPath.empty()) report.write(reportPath);
+
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "apf_worker: shard %u/%u runs [%llu, %llu): %llu fresh, "
+                 "%llu replayed (%zu journaled at start), %llu retries, "
+                 "%llu quarantined\n",
+                 shardIndex, shardCount,
+                 static_cast<unsigned long long>(range.lo),
+                 static_cast<unsigned long long>(range.hi),
+                 static_cast<unsigned long long>(report.completed),
+                 static_cast<unsigned long long>(report.replayed), replayable,
+                 static_cast<unsigned long long>(report.retries),
+                 static_cast<unsigned long long>(report.quarantined));
+  }
+  return report.allCompleted() ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "apf_worker: %s\n", e.what());
+  return 1;
+}
